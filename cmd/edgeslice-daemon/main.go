@@ -1,0 +1,149 @@
+// Command edgeslice-daemon runs one EdgeSlice component as a network
+// process, speaking the RC protocol over TCP: either the central
+// performance coordinator (hub) or one decentralized orchestration agent.
+// Start one coordinator and one agent per RA — on the same machine or
+// across machines — to deploy Algorithm 1 in its genuinely distributed
+// form.
+//
+// Usage:
+//
+//	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10
+//	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgeslice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edgeslice-daemon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role      = flag.String("role", "", "coordinator or agent (required)")
+		listen    = flag.String("listen", ":7000", "coordinator listen address")
+		connect   = flag.String("connect", "127.0.0.1:7000", "agent: coordinator address")
+		ras       = flag.Int("ras", 2, "coordinator: number of RAs")
+		slices    = flag.Int("slices", 2, "number of slices")
+		ra        = flag.Int("ra", 0, "agent: this RA's id")
+		periods   = flag.Int("periods", 10, "coordinator: periods to run")
+		agentFile = flag.String("agent", "", "agent: trained actor JSON (from edgeslice-train); trains fresh if empty")
+		train     = flag.Int("train", 12000, "agent: training steps when no -agent file given")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-round network timeout")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "coordinator":
+		return runCoordinator(*listen, *slices, *ras, *periods, *timeout)
+	case "agent":
+		return runAgent(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout)
+	default:
+		return fmt.Errorf("-role must be coordinator or agent")
+	}
+}
+
+func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration) error {
+	hub, err := edgeslice.NewHub(listen, slices, ras)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Shutdown() }()
+	fmt.Printf("coordinator listening on %s, waiting for %d agents...\n", hub.Addr(), ras)
+	if err := hub.WaitRegistered(timeout); err != nil {
+		return err
+	}
+	umin := make([]float64, slices)
+	for i := range umin {
+		umin[i] = -50
+	}
+	coord, err := edgeslice.NewCoordinator(slices, ras, 1.0, umin)
+	if err != nil {
+		return err
+	}
+	history, err := edgeslice.RunCoordinator(hub, coord, periods, timeout)
+	if err != nil {
+		return err
+	}
+	for p, perf := range history {
+		fmt.Printf("period %d: perf=%v\n", p, perf)
+	}
+	primal, dual := coord.Residuals()
+	fmt.Printf("final residuals: primal=%.3f dual=%.3f\n", primal, dual)
+	return hub.Shutdown()
+}
+
+func runAgent(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration) error {
+	envCfg := edgeslice.DefaultEnvConfig()
+	if slices != envCfg.NumSlices {
+		return fmt.Errorf("daemon presets support %d slices, got %d", envCfg.NumSlices, slices)
+	}
+	envCfg.TrainCoordRandom = false
+	envCfg.Seed = seed + int64(ra)*7919
+	env, err := edgeslice.NewEnv(envCfg)
+	if err != nil {
+		return err
+	}
+	env.Reset()
+
+	var policy edgeslice.Agent
+	if agentFile != "" {
+		f, err := os.Open(agentFile)
+		if err != nil {
+			return fmt.Errorf("open agent file: %w", err)
+		}
+		policy, err = edgeslice.LoadAgent(f)
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("RA %d: loaded policy from %s\n", ra, agentFile)
+	} else {
+		fmt.Printf("RA %d: training fresh agent (%d steps)...\n", ra, train)
+		cfg := edgeslice.DefaultConfig()
+		cfg.NumRAs = 1
+		cfg.TrainSteps = train
+		cfg.Seed = seed + int64(ra)
+		sys, err := edgeslice.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		if err := sys.Train(); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := edgeslice.SaveAgent(&buf, sys, 0); err != nil {
+			return err
+		}
+		policy, err = edgeslice.LoadAgent(&buf)
+		if err != nil {
+			return err
+		}
+	}
+
+	client, err := edgeslice.DialAgent(connect, ra, timeout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+	fmt.Printf("RA %d: connected to %s\n", ra, connect)
+	if err := edgeslice.RunAgent(client, env, policy, timeout); err != nil {
+		return err
+	}
+	fmt.Printf("RA %d: coordinator finished, shutting down\n", ra)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command edgeslice-exp regenerates the paper's evaluation figures
+// (Figs. 6-11) and prints their data series as text tables.
+//
+// Usage:
+//
+//	edgeslice-exp [-fig all|fig6|fig7|fig8|fig9|fig10|fig11]
+//	              [-train 12000] [-periods 10] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeslice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edgeslice-exp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: all, fig6 ... fig11")
+		train   = flag.Int("train", 12000, "agent training steps")
+		periods = flag.Int("periods", 10, "orchestration periods per run")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	o := edgeslice.DefaultExperimentOptions()
+	o.TrainSteps = *train
+	o.Periods = *periods
+	o.Seed = *seed
+
+	runs := map[string]func() error{
+		"fig6": func() error {
+			a, b, err := edgeslice.Fig6(o)
+			return printAll(err, a, b)
+		},
+		"fig7": func() error {
+			figs, err := edgeslice.Fig7(o)
+			return printAll(err, figs...)
+		},
+		"fig8": func() error {
+			cdf, ratios, err := edgeslice.Fig8(o)
+			if err != nil {
+				return err
+			}
+			return printAll(nil, append([]*edgeslice.Figure{cdf}, ratios...)...)
+		},
+		"fig9": func() error {
+			a, b, err := edgeslice.Fig9(o)
+			return printAll(err, a, b)
+		},
+		"fig10": func() error {
+			a, b, err := edgeslice.Fig10(o)
+			return printAll(err, a, b)
+		},
+		"fig11": func() error {
+			a, b, err := edgeslice.Fig11(o)
+			return printAll(err, a, b)
+		},
+	}
+
+	if *fig != "all" {
+		f, ok := runs[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want all, fig6 ... fig11)", *fig)
+		}
+		return f()
+	}
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		fmt.Printf("\n######## %s ########\n", id)
+		if err := runs[id](); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func printAll(err error, figs ...*edgeslice.Figure) error {
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		if err := edgeslice.WriteFigureTable(os.Stdout, f); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command edgeslice-sim runs an end-to-end EdgeSlice orchestration
+// simulation: it trains the orchestration agents (for learning algorithms),
+// executes Algorithm 1 for the requested number of periods, and prints
+// per-period performance, SLA status, and the steady-state summary.
+//
+// Usage:
+//
+//	edgeslice-sim [-algo edgeslice|edgeslice-nt|taro|equal] [-periods 10]
+//	              [-ras 2] [-train 12000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeslice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edgeslice-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algoName = flag.String("algo", "edgeslice", "algorithm: edgeslice, edgeslice-nt, taro, equal")
+		periods  = flag.Int("periods", 10, "orchestration periods to run")
+		ras      = flag.Int("ras", 2, "number of resource autonomies")
+		train    = flag.Int("train", 12000, "agent training steps")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	cfg := edgeslice.DefaultConfig()
+	cfg.Algo = algo
+	cfg.NumRAs = *ras
+	cfg.TrainSteps = *train
+	cfg.Seed = *seed
+
+	sys, err := edgeslice.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	if algo == edgeslice.AlgoEdgeSlice || algo == edgeslice.AlgoEdgeSliceNT {
+		fmt.Printf("training %s agents (%d steps)...\n", algo, *train)
+	}
+	if err := sys.Train(); err != nil {
+		return err
+	}
+	h, err := sys.RunPeriods(*periods)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s: %d RAs, %d slices, %d periods x %d intervals\n",
+		algo, *ras, cfg.EnvTemplate.NumSlices, *periods, cfg.EnvTemplate.T)
+	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
+	for p := 0; p < h.Periods(); p++ {
+		perf := make([]float64, h.NumSlices)
+		for i := range perf {
+			for j := 0; j < h.NumRAs; j++ {
+				perf[i] += h.PeriodPerf[p][i][j]
+			}
+		}
+		fmt.Printf("%6d | %v | %v | primal=%.2f dual=%.2f\n",
+			p, fmtVec(perf), h.SLAMet[p], h.Primal[p], h.Dual[p])
+	}
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsteady-state system performance: %.2f per interval\n", mp)
+	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	return nil
+}
+
+func parseAlgo(name string) (edgeslice.Algorithm, error) {
+	switch name {
+	case "edgeslice":
+		return edgeslice.AlgoEdgeSlice, nil
+	case "edgeslice-nt":
+		return edgeslice.AlgoEdgeSliceNT, nil
+	case "taro":
+		return edgeslice.AlgoTARO, nil
+	case "equal":
+		return edgeslice.AlgoEqualShare, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func fmtVec(v []float64) string {
+	out := "["
+	for i, x := range v {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f", x)
+	}
+	return out + "]"
+}

@@ -1,0 +1,69 @@
+// Command edgeslice-train trains an EdgeSlice orchestration agent offline
+// against the simulated network environment (Sec. VI-B) and saves the actor
+// network as JSON for later deployment with edgeslice-daemon or the
+// library's LoadAgent.
+//
+// Usage:
+//
+//	edgeslice-train -out agent.json [-steps 12000] [-nt] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeslice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edgeslice-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "", "output file for the trained actor (required)")
+		steps = flag.Int("steps", 12000, "training steps")
+		nt    = flag.Bool("nt", false, "train the EdgeSlice-NT variant (no queue observation)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	cfg := edgeslice.DefaultConfig()
+	cfg.NumRAs = 1 // a single shared agent; deploy to any number of RAs
+	cfg.TrainSteps = *steps
+	cfg.Seed = *seed
+	if *nt {
+		cfg.Algo = edgeslice.AlgoEdgeSliceNT
+	}
+
+	sys, err := edgeslice.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s for %d steps...\n", cfg.Algo, *steps)
+	if err := sys.Train(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if err := edgeslice.SaveAgent(f, sys, 0); err != nil {
+		return err
+	}
+	fmt.Printf("saved actor to %s\n", *out)
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package edgeslice is a pure-Go reproduction of "EdgeSlice: Slicing
+// Wireless Edge Computing Network with Decentralized Deep Reinforcement
+// Learning" (Liu, Han, Moges — ICDCS 2020): a decentralized resource
+// orchestration system for dynamic end-to-end network slicing.
+//
+// The public API exposes four layers:
+//
+//   - System assembly and Algorithm-1 orchestration (NewSystem, Config,
+//     System.Train, System.RunPeriods) — the D-DRL loop coupling the ADMM
+//     performance coordinator with per-RA DDPG orchestration agents.
+//   - Environment construction (EnvConfig, AppProfile, sources) — the
+//     simulated wireless edge computing network of Sec. VI-B.
+//   - Distributed deployment (NewHub, DialAgent, RunCoordinator, RunAgent)
+//     — the RC interface over TCP for running the coordinator and agents
+//     as separate processes.
+//   - Experiments (Fig6 … Fig11, Options) — regenerate every evaluation
+//     figure of the paper.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package edgeslice
+
+import (
+	"io"
+	"time"
+
+	"edgeslice/internal/admm"
+	"edgeslice/internal/core"
+	"edgeslice/internal/experiments"
+	"edgeslice/internal/mathutil"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/rcnet"
+	"edgeslice/internal/rl"
+	"edgeslice/internal/traffic"
+)
+
+// Core orchestration types.
+type (
+	// Config assembles a full EdgeSlice system (RAs, environment,
+	// algorithm, training budget).
+	Config = core.Config
+	// System is an assembled deployment: per-RA environments and agents
+	// plus the performance coordinator.
+	System = core.System
+	// History captures per-interval and per-period results of a run.
+	History = core.History
+	// Algorithm selects the orchestration policy.
+	Algorithm = core.Algorithm
+)
+
+// Environment types (the simulated wireless edge computing network).
+type (
+	// EnvConfig configures one resource autonomy's environment.
+	EnvConfig = netsim.Config
+	// Env is a simulated resource autonomy; it implements the RL
+	// environment interface and the orchestration-mode API.
+	Env = netsim.RAEnv
+	// AppProfile models a slice application's per-domain resource demand.
+	AppProfile = netsim.AppProfile
+	// TrafficSource yields per-interval expected arrival rates.
+	TrafficSource = traffic.Source
+	// Trace is a set of per-area diurnal traffic profiles.
+	Trace = traffic.Trace
+)
+
+// Agent is a trained orchestration policy.
+type Agent = rl.Agent
+
+// Coordinator is the ADMM performance coordinator.
+type Coordinator = admm.Coordinator
+
+// Distributed-deployment types (RC interface over TCP).
+type (
+	// Hub is the coordinator-side network endpoint.
+	Hub = rcnet.Hub
+	// AgentClient is the orchestration-agent-side endpoint.
+	AgentClient = rcnet.AgentClient
+)
+
+// Experiment types.
+type (
+	// ExperimentOptions scales the figure regeneration runs.
+	ExperimentOptions = experiments.Options
+	// Figure is a regenerated paper figure.
+	Figure = experiments.Figure
+	// Series is one line in a figure.
+	Series = experiments.Series
+)
+
+// Orchestration algorithms (Sec. VII-B).
+const (
+	AlgoEdgeSlice   = core.AlgoEdgeSlice
+	AlgoEdgeSliceNT = core.AlgoEdgeSliceNT
+	AlgoTARO        = core.AlgoTARO
+	AlgoEqualShare  = core.AlgoEqualShare
+)
+
+// Resource domain indices of the three technical domains.
+const (
+	ResRadio     = netsim.ResRadio
+	ResTransport = netsim.ResTransport
+	ResCompute   = netsim.ResCompute
+	NumResources = netsim.NumResources
+)
+
+// NewSystem builds an EdgeSlice system from a configuration.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultConfig returns the prototype-experiment system of Sec. VII-C
+// (2 slices, 2 RAs, video-analytics workloads) at CI training scale.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultEnvConfig returns the prototype-experiment environment.
+func DefaultEnvConfig() EnvConfig { return netsim.DefaultExperimentConfig() }
+
+// NewEnv creates a simulated resource-autonomy environment.
+func NewEnv(cfg EnvConfig) (*Env, error) { return netsim.New(cfg) }
+
+// SaveAgent serializes a trained DDPG agent's actor network.
+func SaveAgent(w io.Writer, sys *System, ra int) error {
+	actor, err := sys.Actor(ra)
+	if err != nil {
+		return err
+	}
+	return core.SaveAgent(w, actor)
+}
+
+// LoadAgent restores a policy saved with SaveAgent.
+func LoadAgent(r io.Reader) (Agent, error) { return core.LoadAgent(r) }
+
+// NewHub starts the coordinator-side RC endpoint on addr.
+func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
+	return rcnet.NewHub(addr, numSlices, numRAs)
+}
+
+// DialAgent connects an orchestration agent to the hub.
+func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error) {
+	return rcnet.DialAgent(addr, ra, timeout)
+}
+
+// RunCoordinator drives Algorithm 1 from the hub side.
+func RunCoordinator(h *Hub, coord *Coordinator, periods int, timeout time.Duration) ([][][]float64, error) {
+	return rcnet.RunCoordinator(h, coord, periods, timeout)
+}
+
+// RunAgent drives one RA from the agent side until shutdown.
+func RunAgent(c *AgentClient, env *Env, agent Agent, timeout time.Duration) error {
+	return rcnet.RunAgent(c, env, agent, timeout)
+}
+
+// NewCoordinator creates a standalone ADMM performance coordinator (used
+// with the distributed API; NewSystem embeds its own).
+func NewCoordinator(numSlices, numRAs int, rho float64, umin []float64) (*Coordinator, error) {
+	return admm.NewCoordinator(admm.Config{
+		NumSlices: numSlices, NumRAs: numRAs, Rho: rho, UminPerSlice: umin,
+	})
+}
+
+// SynthesizeTrace builds a Trento-like diurnal traffic trace with the given
+// number of geographic areas (see DESIGN.md §5 for the substitution note).
+func SynthesizeTrace(seed int64, numAreas int) (*Trace, error) {
+	return traffic.SynthesizeTrentoLike(mathutil.NewRNG(seed), numAreas)
+}
+
+// DefaultExperimentOptions returns CI-scale experiment settings.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Fig6 regenerates the convergence figure (system and slice performance vs
+// time interval).
+func Fig6(o ExperimentOptions) (*Figure, *Figure, error) { return experiments.Fig6(o) }
+
+// Fig7 regenerates the per-domain resource orchestration figures.
+func Fig7(o ExperimentOptions) ([]*Figure, error) { return experiments.Fig7(o) }
+
+// Fig8 regenerates the agent-performance CDF and the usage-ratio grids.
+func Fig8(o ExperimentOptions) (*Figure, []*Figure, error) { return experiments.Fig8(o) }
+
+// Fig9 regenerates the scalability figures (per-RA and per-slice).
+func Fig9(o ExperimentOptions) (*Figure, *Figure, error) { return experiments.Fig9(o) }
+
+// Fig10 regenerates the training-technique figures (steps sweep and the
+// DDPG/SAC/PPO/TRPO/VPG comparison).
+func Fig10(o ExperimentOptions) (*Figure, *Figure, error) { return experiments.Fig10(o) }
+
+// Fig11 regenerates the compatibility figures (alpha sweep and the
+// service-time-metric CDF).
+func Fig11(o ExperimentOptions) (*Figure, *Figure, error) { return experiments.Fig11(o) }
+
+// WriteFigureTable renders a figure as an aligned text table.
+func WriteFigureTable(w io.Writer, fig *Figure) error { return experiments.WriteTable(w, fig) }

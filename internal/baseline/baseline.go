@@ -1,0 +1,52 @@
+// Package baseline implements the comparison algorithms of Sec. VII-B.
+//
+// TARO (Traffic-Aware Resource Orchestration) shares every resource
+// proportionally to current queue lengths: x_ij = Rtot_j · l_ij / Σ_i l_ij.
+// EdgeSlice-NT is not here — it is the same DRL agent as EdgeSlice with the
+// queue part of the state removed, selected via netsim.Config.ObserveQueue.
+package baseline
+
+import "fmt"
+
+// TARO computes the traffic-aware proportional allocation for one RA: the
+// returned action vector has the netsim layout (slice-major, one share per
+// resource) with x_i = l_i/Σl for every resource domain.
+func TARO(queueLens []int, numResources int) ([]float64, error) {
+	if len(queueLens) == 0 {
+		return nil, fmt.Errorf("baseline: no queues")
+	}
+	if numResources <= 0 {
+		return nil, fmt.Errorf("baseline: numResources %d must be positive", numResources)
+	}
+	var total int
+	for _, l := range queueLens {
+		if l < 0 {
+			return nil, fmt.Errorf("baseline: negative queue length %d", l)
+		}
+		total += l
+	}
+	out := make([]float64, len(queueLens)*numResources)
+	for i, l := range queueLens {
+		share := 1 / float64(len(queueLens)) // idle system: equal split
+		if total > 0 {
+			share = float64(l) / float64(total)
+		}
+		for k := 0; k < numResources; k++ {
+			out[i*numResources+k] = share
+		}
+	}
+	return out, nil
+}
+
+// EqualShare splits every resource evenly across slices, a static
+// provisioning reference point used in ablations.
+func EqualShare(numSlices, numResources int) ([]float64, error) {
+	if numSlices <= 0 || numResources <= 0 {
+		return nil, fmt.Errorf("baseline: invalid dims %d/%d", numSlices, numResources)
+	}
+	out := make([]float64, numSlices*numResources)
+	for i := range out {
+		out[i] = 1 / float64(numSlices)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTAROProportional(t *testing.T) {
+	act, err := TARO([]int{30, 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act) != 6 {
+		t.Fatalf("action length %d, want 6", len(act))
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(act[k]-0.75) > 1e-12 {
+			t.Errorf("slice 0 resource %d = %v, want 0.75", k, act[k])
+		}
+		if math.Abs(act[3+k]-0.25) > 1e-12 {
+			t.Errorf("slice 1 resource %d = %v, want 0.25", k, act[3+k])
+		}
+	}
+}
+
+func TestTAROIdleEqualSplit(t *testing.T) {
+	act, err := TARO([]int{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range act {
+		if v != 0.5 {
+			t.Errorf("idle TARO share %v, want 0.5", v)
+		}
+	}
+}
+
+func TestTAROValidation(t *testing.T) {
+	if _, err := TARO(nil, 3); err == nil {
+		t.Error("empty queues should fail")
+	}
+	if _, err := TARO([]int{1}, 0); err == nil {
+		t.Error("zero resources should fail")
+	}
+	if _, err := TARO([]int{-1}, 1); err == nil {
+		t.Error("negative queue should fail")
+	}
+}
+
+// Property: TARO shares always sum to 1 per resource domain.
+func TestTAROSumProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		if len(lens) == 0 || len(lens) > 8 {
+			return true
+		}
+		q := make([]int, len(lens))
+		for i, l := range lens {
+			q[i] = int(l)
+		}
+		act, err := TARO(q, 3)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 3; k++ {
+			var sum float64
+			for i := range q {
+				sum += act[i*3+k]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	act, err := EqualShare(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act) != 8 {
+		t.Fatalf("length %d, want 8", len(act))
+	}
+	for _, v := range act {
+		if v != 0.25 {
+			t.Errorf("share %v, want 0.25", v)
+		}
+	}
+	if _, err := EqualShare(0, 1); err == nil {
+		t.Error("zero slices should fail")
+	}
+}

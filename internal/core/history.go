@@ -1,0 +1,145 @@
+package core
+
+import "fmt"
+
+// History captures everything the evaluation figures need from one
+// orchestration run.
+type History struct {
+	NumSlices, NumRAs, T int
+
+	// Per interval.
+	SystemPerf []float64   // Σ_i Σ_j U^(t) (Fig. 6a)
+	SlicePerf  [][]float64 // [slice][interval]: Σ_j U^(t) (Fig. 6b)
+	Usage      [][][]float64
+	Violations []float64
+
+	// Per period.
+	PeriodPerf [][][]float64 // [period][slice][ra]: Σ_t U
+	SLAMet     [][]bool      // [period][slice]
+	Primal     []float64     // coordinator residuals per period
+	Dual       []float64
+}
+
+// NewHistory allocates an empty history.
+func NewHistory(numSlices, numRAs, t int) *History {
+	h := &History{NumSlices: numSlices, NumRAs: numRAs, T: t}
+	h.SlicePerf = make([][]float64, numSlices)
+	return h
+}
+
+// AddInterval appends one interval's aggregates. usage is [slice][resource].
+func (h *History) AddInterval(sysPerf float64, slicePerf []float64, usage [][]float64, violation float64) {
+	h.SystemPerf = append(h.SystemPerf, sysPerf)
+	for i := range slicePerf {
+		h.SlicePerf[i] = append(h.SlicePerf[i], slicePerf[i])
+	}
+	h.Usage = append(h.Usage, usage)
+	h.Violations = append(h.Violations, violation)
+}
+
+// AddPeriod appends one period's coordinator-side records.
+func (h *History) AddPeriod(perf [][]float64, sla []bool, primal, dual float64) {
+	cp := make([][]float64, len(perf))
+	for i := range perf {
+		cp[i] = append([]float64(nil), perf[i]...)
+	}
+	h.PeriodPerf = append(h.PeriodPerf, cp)
+	h.SLAMet = append(h.SLAMet, append([]bool(nil), sla...))
+	h.Primal = append(h.Primal, primal)
+	h.Dual = append(h.Dual, dual)
+}
+
+// Intervals returns the number of recorded intervals.
+func (h *History) Intervals() int { return len(h.SystemPerf) }
+
+// Periods returns the number of recorded periods.
+func (h *History) Periods() int { return len(h.PeriodPerf) }
+
+// MeanSystemPerf returns the average per-interval system performance over
+// the last n intervals (the steady-state number quoted in Fig. 6a).
+func (h *History) MeanSystemPerf(lastN int) (float64, error) {
+	total := len(h.SystemPerf)
+	if total == 0 {
+		return 0, fmt.Errorf("core: empty history")
+	}
+	if lastN <= 0 || lastN > total {
+		lastN = total
+	}
+	var sum float64
+	for _, v := range h.SystemPerf[total-lastN:] {
+		sum += v
+	}
+	return sum / float64(lastN), nil
+}
+
+// MeanUsage returns the average usage share of a slice/resource over the
+// last n intervals (Fig. 7's steady state and Fig. 8's η ratios).
+func (h *History) MeanUsage(slice, resource, lastN int) (float64, error) {
+	total := len(h.Usage)
+	if total == 0 {
+		return 0, fmt.Errorf("core: empty history")
+	}
+	if slice < 0 || slice >= h.NumSlices {
+		return 0, fmt.Errorf("core: slice %d out of range", slice)
+	}
+	if lastN <= 0 || lastN > total {
+		lastN = total
+	}
+	var sum float64
+	for _, u := range h.Usage[total-lastN:] {
+		sum += u[slice][resource]
+	}
+	return sum / float64(lastN), nil
+}
+
+// UsageRatio returns η_a/η_b where η_i is the slice's mean usage across all
+// resources over the last n intervals (Fig. 8b-d). A zero denominator
+// returns an error.
+func (h *History) UsageRatio(a, b, lastN int) (float64, error) {
+	var etaA, etaB float64
+	for k := 0; k < numResourcesOf(h); k++ {
+		ua, err := h.MeanUsage(a, k, lastN)
+		if err != nil {
+			return 0, err
+		}
+		ub, err := h.MeanUsage(b, k, lastN)
+		if err != nil {
+			return 0, err
+		}
+		etaA += ua
+		etaB += ub
+	}
+	if etaB == 0 {
+		return 0, fmt.Errorf("core: slice %d has zero usage", b)
+	}
+	return etaA / etaB, nil
+}
+
+func numResourcesOf(h *History) int {
+	if len(h.Usage) == 0 || len(h.Usage[0]) == 0 {
+		return 0
+	}
+	return len(h.Usage[0][0])
+}
+
+// SLASatisfactionRate returns the fraction of (period, slice) pairs whose
+// SLA was met over the last n periods.
+func (h *History) SLASatisfactionRate(lastN int) (float64, error) {
+	total := len(h.SLAMet)
+	if total == 0 {
+		return 0, fmt.Errorf("core: no periods recorded")
+	}
+	if lastN <= 0 || lastN > total {
+		lastN = total
+	}
+	var met, all int
+	for _, period := range h.SLAMet[total-lastN:] {
+		for _, ok := range period {
+			all++
+			if ok {
+				met++
+			}
+		}
+	}
+	return float64(met) / float64(all), nil
+}

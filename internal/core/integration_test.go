@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"edgeslice/internal/monitor"
+)
+
+// TestEdgeSliceBeatsTARO is the headline integration test: a trained
+// EdgeSlice system must outperform the TARO baseline on the prototype
+// experiment (Fig. 6a's qualitative result).
+func TestEdgeSliceBeatsTARO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	steady := func(algo Algorithm) float64 {
+		cfg := DefaultConfig()
+		cfg.Algo = algo
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Train(); err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.RunPeriods(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mp
+	}
+	edge := steady(AlgoEdgeSlice)
+	taro := steady(AlgoTARO)
+	if edge <= taro {
+		t.Errorf("EdgeSlice (%v) should beat TARO (%v)", edge, taro)
+	}
+	t.Logf("EdgeSlice %.1f vs TARO %.1f (%.1fx)", edge, taro, taro/min(edge, -1e-9))
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSLAEnforcement checks that a trained system converges to meeting the
+// per-slice SLAs (Fig. 6b: "both network slices meet their minimum
+// performance requirements").
+func TestSLAEnforcement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.RunPeriods(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := h.SLASatisfactionRate(5) // last 5 periods
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.5 {
+		t.Errorf("steady-state SLA satisfaction %.0f%% is too low", rate*100)
+	}
+}
+
+// TestCoordinatorResidualsShrink verifies the Algorithm 1 convergence
+// behaviour: the dual residual in the final periods should be small once
+// the agents settle.
+func TestCoordinatorResidualsShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.RunPeriods(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := h.Dual[1]
+	late := h.Dual[len(h.Dual)-1]
+	if late > early && late > 100 {
+		t.Errorf("dual residual grew: %v -> %v", early, late)
+	}
+}
+
+// TestMonitorPopulated checks the RC-M path: the system monitor must carry
+// per-RA, per-slice perf and queue series after a run.
+func TestMonitorPopulated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = AlgoTARO
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunPeriods(2); err != nil {
+		t.Fatal(err)
+	}
+	for ra := 0; ra < sys.NumRAs(); ra++ {
+		for slice := 0; slice < cfg.EnvTemplate.NumSlices; slice++ {
+			for _, kind := range []string{"perf", "queue"} {
+				name := monitor.MetricName(kind, ra, slice)
+				samples := sys.Monitor().Query(name, 0, 1<<30)
+				if len(samples) != 2*cfg.EnvTemplate.T {
+					t.Errorf("%s has %d samples, want %d", name, len(samples), 2*cfg.EnvTemplate.T)
+				}
+			}
+		}
+	}
+}

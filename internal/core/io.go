@@ -1,0 +1,51 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// agentSnapshot is the wire form of a saved orchestration agent: the actor
+// network is all that is needed for deployment (Act is actor-only).
+type agentSnapshot struct {
+	Format string      `json:"format"`
+	Actor  *nn.Network `json:"actor"`
+}
+
+const agentFormat = "edgeslice-actor-v1"
+
+// SaveAgent serializes an agent's policy. Only actor-bearing agents
+// (DDPG-trained) can be saved.
+func SaveAgent(w io.Writer, actor *nn.Network) error {
+	if actor == nil {
+		return fmt.Errorf("core: nil actor")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(agentSnapshot{Format: agentFormat, Actor: actor}); err != nil {
+		return fmt.Errorf("core: encode agent: %w", err)
+	}
+	return nil
+}
+
+// LoadAgent restores a saved policy as an rl.Agent.
+func LoadAgent(r io.Reader) (rl.Agent, error) {
+	var snap agentSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode agent: %w", err)
+	}
+	if snap.Format != agentFormat {
+		return nil, fmt.Errorf("core: unknown agent format %q", snap.Format)
+	}
+	if snap.Actor == nil || len(snap.Actor.Layers) == 0 {
+		return nil, fmt.Errorf("core: agent snapshot has no actor")
+	}
+	actor := snap.Actor
+	return rl.AgentFunc(func(state []float64) []float64 {
+		return actor.Forward1(state)
+	}), nil
+}

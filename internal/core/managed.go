@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"edgeslice/internal/gpusim"
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/radio"
+	"edgeslice/internal/transport"
+)
+
+// ManagedRA binds one resource autonomy's orchestration actions to the
+// three resource managers of Sec. V, exactly as the prototype wires the
+// VR-R/VR-T/VR-C interfaces: every interval, the per-slice shares chosen by
+// the orchestration agent are pushed into the radio manager (PRB budgets),
+// the transport manager (meter bandwidths, hitless reconfiguration), and
+// the computing manager (CUDA thread caps).
+//
+// The netsim environment remains the source of slice performance (its
+// fluid model is calibrated to the same share→rate behaviour); ManagedRA
+// adds the control-plane path so the managers' runtime state — scheduled
+// PRBs, installed meters, kernel caps — tracks the orchestration decisions
+// and can be inspected, tested, and failure-injected.
+type ManagedRA struct {
+	RadioMgr     *radio.Manager
+	TransportMgr *transport.Manager
+	ComputeMgr   *gpusim.Manager
+	Monitor      *monitor.Monitor
+
+	numSlices    int
+	linkMbps     float64
+	flowsBySlice map[int][][2]string
+}
+
+// ManagedRAConfig sizes the substrate of one managed RA to the prototype's
+// hardware (Table II): a 25-PRB cell, 6 OpenFlow switches with an 80 Mbps
+// eNB–edge link, and a 51200-thread GPU.
+type ManagedRAConfig struct {
+	CellID     int
+	PRBs       int
+	Switches   int
+	LinkMbps   float64
+	GPUThreads int
+	NumSlices  int
+}
+
+// DefaultManagedRAConfig returns the prototype's per-RA hardware.
+func DefaultManagedRAConfig() ManagedRAConfig {
+	return ManagedRAConfig{
+		CellID:     1,
+		PRBs:       radio.PRBsPer5MHz,
+		Switches:   6,
+		LinkMbps:   80,
+		GPUThreads: gpusim.DefaultThreads,
+		NumSlices:  2,
+	}
+}
+
+// NewManagedRA builds the managers and their substrates.
+func NewManagedRA(cfg ManagedRAConfig) (*ManagedRA, error) {
+	if cfg.NumSlices <= 0 {
+		return nil, fmt.Errorf("core: managed RA needs slices, got %d", cfg.NumSlices)
+	}
+	cell, err := radio.NewCell(cfg.CellID, cfg.PRBs)
+	if err != nil {
+		return nil, err
+	}
+	switches := make([]*transport.Switch, cfg.Switches)
+	for i := range switches {
+		switches[i] = transport.NewSwitch(i)
+	}
+	tm, err := transport.NewManager(switches, cfg.LinkMbps)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := gpusim.New(cfg.GPUThreads)
+	if err != nil {
+		return nil, err
+	}
+	cm := gpusim.NewManager(gpu)
+	m := &ManagedRA{
+		RadioMgr:     radio.NewManager(cell),
+		TransportMgr: tm,
+		ComputeMgr:   cm,
+		Monitor:      monitor.New(),
+		numSlices:    cfg.NumSlices,
+		linkMbps:     cfg.LinkMbps,
+	}
+	return m, nil
+}
+
+// AttachUser registers a slice user across all three domains: the radio
+// manager learns the IMSI from the S1AP attach, the transport manager gets
+// the user's IP flow, and the computing manager binds the user's edge
+// application; the monitor records both associations (Sec. V-D).
+func (m *ManagedRA) AttachUser(imsi, srcIP, dstIP string, slice, appID int, cqi float64) error {
+	if slice < 0 || slice >= m.numSlices {
+		return fmt.Errorf("core: slice %d out of range", slice)
+	}
+	if err := m.RadioMgr.Cell().Attach(radio.S1APAttach{IMSI: imsi, SliceID: slice}, cqi); err != nil {
+		return err
+	}
+	if err := m.ComputeMgr.GPU().Register(appID, 0); err != nil {
+		return err
+	}
+	if err := m.ComputeMgr.Bind(slice, appID); err != nil {
+		return err
+	}
+	if err := m.Monitor.AssociateIMSI(imsi, slice); err != nil {
+		return err
+	}
+	if err := m.Monitor.AssociateIP(srcIP, slice); err != nil {
+		return err
+	}
+	m.addFlow(slice, srcIP, dstIP)
+	return nil
+}
+
+// addFlow remembers a slice's IP pair for subsequent Apply calls.
+func (m *ManagedRA) addFlow(slice int, src, dst string) {
+	if m.flowsBySlice == nil {
+		m.flowsBySlice = make(map[int][][2]string)
+	}
+	m.flowsBySlice[slice] = append(m.flowsBySlice[slice], [2]string{src, dst})
+}
+
+// Apply enacts one orchestration action (the netsim layout: slice-major,
+// one share per resource domain) across all three managers at runtime.
+func (m *ManagedRA) Apply(action []float64, interval int) error {
+	if len(action) != m.numSlices*netsim.NumResources {
+		return fmt.Errorf("core: action length %d, want %d", len(action), m.numSlices*netsim.NumResources)
+	}
+	radioShares := make([]float64, m.numSlices)
+	computeShares := make([]float64, m.numSlices)
+	bw := make([]transport.SliceBandwidth, 0, m.numSlices)
+	for i := 0; i < m.numSlices; i++ {
+		radioShares[i] = action[i*netsim.NumResources+netsim.ResRadio]
+		computeShares[i] = action[i*netsim.NumResources+netsim.ResCompute]
+		bw = append(bw, transport.SliceBandwidth{
+			SliceID:  i,
+			RateMbps: action[i*netsim.NumResources+netsim.ResTransport] * m.linkMbps,
+			IPPairs:  m.flowsBySlice[i],
+		})
+	}
+	if err := m.RadioMgr.Apply(radioShares); err != nil {
+		return fmt.Errorf("core: VR-R apply: %w", err)
+	}
+	if err := m.TransportMgr.ApplyHitless(bw); err != nil {
+		return fmt.Errorf("core: VR-T apply: %w", err)
+	}
+	if err := m.ComputeMgr.Apply(computeShares); err != nil {
+		return fmt.Errorf("core: VR-C apply: %w", err)
+	}
+	for i := 0; i < m.numSlices; i++ {
+		_ = m.Monitor.Record(monitor.MetricName("share-radio", 0, i), interval, radioShares[i])
+		_ = m.Monitor.Record(monitor.MetricName("share-compute", 0, i), interval, computeShares[i])
+	}
+	return nil
+}

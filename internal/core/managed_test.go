@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"edgeslice/internal/gpusim"
+	"edgeslice/internal/netsim"
+)
+
+func newManaged(t *testing.T) *ManagedRA {
+	t.Helper()
+	m, err := NewManagedRA(DefaultManagedRAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachUser("310150000000001", "10.0.0.1", "10.0.1.1", 0, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachUser("310150000000002", "10.0.0.2", "10.0.1.2", 1, 101, 100); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagedRAValidation(t *testing.T) {
+	cfg := DefaultManagedRAConfig()
+	cfg.NumSlices = 0
+	if _, err := NewManagedRA(cfg); err == nil {
+		t.Error("zero slices should fail")
+	}
+	m := newManaged(t)
+	if err := m.AttachUser("310150000000003", "1.1.1.1", "2.2.2.2", 9, 102, 100); err == nil {
+		t.Error("out-of-range slice should fail")
+	}
+	if err := m.Apply([]float64{0.5}, 0); err == nil {
+		t.Error("wrong action length should fail")
+	}
+}
+
+// Apply must propagate shares into all three managers' runtime state.
+func TestManagedRAApplyPropagates(t *testing.T) {
+	m := newManaged(t)
+	action := []float64{
+		0.7, 0.6, 0.2, // slice 0: radio, transport, compute
+		0.1, 0.3, 0.8, // slice 1
+	}
+	if err := m.Apply(action, 0); err != nil {
+		t.Fatal(err)
+	}
+	// VR-R: PRB shares installed in the cell.
+	if got := m.RadioMgr.Cell().SliceShare(0); got != 0.7 {
+		t.Errorf("radio share slice 0 = %v, want 0.7", got)
+	}
+	if got := m.RadioMgr.Cell().SliceShare(1); got != 0.1 {
+		t.Errorf("radio share slice 1 = %v, want 0.1", got)
+	}
+	// VR-T: meters carry the transport bandwidth (fractions of 80 Mbps).
+	cur := m.TransportMgr.Current()
+	if len(cur) != 2 || cur[0].RateMbps != 0.6*80 || cur[1].RateMbps != 0.3*80 {
+		t.Errorf("transport allocation = %+v", cur)
+	}
+	// VR-C: GPU thread caps set from compute shares.
+	// Slice 0 share 0.2 -> 0.2*51200 = 10240 threads for app 100.
+	if err := m.ComputeMgr.GPU().Submit(100, gpusim.Kernel{Threads: 10240, Duration: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ComputeMgr.GPU().Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ComputeMgr.GPU().PeakThreads(100); got > 10240 {
+		t.Errorf("app 100 peak threads %d exceed its cap", got)
+	}
+	// Monitor carries the applied shares.
+	if _, ok := m.Monitor.Latest("share-radio/ra0/slice0"); !ok {
+		t.Error("monitor missing applied radio share")
+	}
+}
+
+// The transport path must stay hitless across repeated Apply calls.
+func TestManagedRAHitlessReconfig(t *testing.T) {
+	m := newManaged(t)
+	for i := 0; i < 10; i++ {
+		action := []float64{
+			0.5, 0.3 + float64(i)*0.05, 0.2,
+			0.2, 0.6 - float64(i)*0.05, 0.7,
+		}
+		if err := m.Apply(action, i); err != nil {
+			t.Fatal(err)
+		}
+		sw := m.TransportMgr.Switches()[0]
+		if got := sw.Forward("10.0.0.1", "10.0.1.1", 1); got <= 0 {
+			t.Fatalf("reconfig %d dropped traffic", i)
+		}
+	}
+	_, dropped := m.TransportMgr.Switches()[0].Stats()
+	if dropped != 0 {
+		t.Errorf("hitless path dropped %d packets", dropped)
+	}
+}
+
+// End-to-end: drive a managed RA from a simulated environment's orchestration
+// loop — every interval's action is enacted on the managers.
+func TestManagedRAEndToEnd(t *testing.T) {
+	m := newManaged(t)
+	envCfg := netsim.DefaultExperimentConfig()
+	envCfg.TrainCoordRandom = false
+	env, err := netsim.New(envCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	action := []float64{0.8, 0.8, 0.25, 0.05, 0.05, 0.6}
+	for i := 0; i < 20; i++ {
+		if _, err := env.StepInterval(action); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Apply(action, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples := m.Monitor.Query("share-radio/ra0/slice0", 0, 19)
+	if len(samples) != 20 {
+		t.Errorf("monitor recorded %d share samples, want 20", len(samples))
+	}
+	// Associations resolvable both ways.
+	if s, ok := m.Monitor.SliceOfIMSI("310150000000002"); !ok || s != 1 {
+		t.Errorf("IMSI association = %d, %v", s, ok)
+	}
+	if s, ok := m.Monitor.SliceOfIP("10.0.0.1"); !ok || s != 0 {
+		t.Errorf("IP association = %d, %v", s, ok)
+	}
+}

@@ -1,0 +1,398 @@
+// Package core implements the EdgeSlice orchestration runtime: the workflow
+// of Algorithm 1 that couples the ADMM performance coordinator with one
+// DRL orchestration agent per resource autonomy, plus agent training,
+// baseline policies, and the history capture the evaluation figures are
+// generated from.
+package core
+
+import (
+	"fmt"
+
+	"edgeslice/internal/admm"
+	"edgeslice/internal/baseline"
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+	"edgeslice/internal/rl/ddpg"
+)
+
+// Algorithm selects the orchestration policy under evaluation (Sec. VII-B).
+type Algorithm int
+
+// Supported algorithms.
+const (
+	// AlgoEdgeSlice is the full system: DDPG agents observing queue state
+	// and coordinating information.
+	AlgoEdgeSlice Algorithm = iota + 1
+	// AlgoEdgeSliceNT is the ablation without traffic observation: the
+	// agent state is the coordinating information only.
+	AlgoEdgeSliceNT
+	// AlgoTARO shares every resource proportionally to queue lengths.
+	AlgoTARO
+	// AlgoEqualShare splits every resource evenly (static provisioning).
+	AlgoEqualShare
+)
+
+// String returns the paper's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoEdgeSlice:
+		return "EdgeSlice"
+	case AlgoEdgeSliceNT:
+		return "EdgeSlice-NT"
+	case AlgoTARO:
+		return "TARO"
+	case AlgoEqualShare:
+		return "EqualShare"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// IsLearning reports whether the algorithm uses a trained agent.
+func (a Algorithm) IsLearning() bool {
+	return a == AlgoEdgeSlice || a == AlgoEdgeSliceNT
+}
+
+// Config assembles a full EdgeSlice system.
+type Config struct {
+	NumRAs int
+	// EnvTemplate configures every RA's environment; per-RA seeds are
+	// derived from it. ObserveQueue is overridden from Algo.
+	EnvTemplate netsim.Config
+	// EnvPerRA optionally overrides the template per RA (e.g. per-area
+	// traffic profiles); nil entries fall back to the template.
+	EnvPerRA []*netsim.Config
+
+	Algo Algorithm
+
+	// Umin is the per-slice SLA vector for the coordinator; defaults to
+	// the paper's −50 for every slice when nil.
+	Umin []float64
+	Rho  float64
+
+	// TrainSteps is the number of environment steps each agent is trained
+	// for. The paper trains 1e6 TensorFlow steps; pure-Go CI-scale runs use
+	// thousands (see EXPERIMENTS.md for the scaling note).
+	TrainSteps int
+	DDPG       ddpg.Config
+	// ShareAgent trains a single agent on RA 0's environment and deploys
+	// it to every RA — valid for homogeneous RAs and much faster.
+	ShareAgent bool
+
+	Seed int64
+}
+
+// DefaultConfig returns the prototype experiment system: 2 RAs, 2 slices,
+// the Sec. VII-C environment, EdgeSlice algorithm, CI-scale training.
+func DefaultConfig() Config {
+	env := netsim.DefaultExperimentConfig()
+	d := ddpg.DefaultConfig()
+	// CI-scale network: the paper's 2x128 with batch 512 needs ~hours of
+	// pure-Go CPU for 1e6 steps; 2x32 with batch 64 learns the 6-dim task
+	// in seconds while keeping the architecture shape.
+	d.Hidden = 32
+	d.BatchSize = 64
+	d.WarmupSteps = 300
+	d.NoiseDecay = 0.9995
+	return Config{
+		NumRAs:      2,
+		EnvTemplate: env,
+		Algo:        AlgoEdgeSlice,
+		Rho:         1.0,
+		TrainSteps:  12000,
+		DDPG:        d,
+		ShareAgent:  true,
+		Seed:        1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumRAs <= 0 {
+		return fmt.Errorf("core: NumRAs %d must be positive", c.NumRAs)
+	}
+	if c.Algo < AlgoEdgeSlice || c.Algo > AlgoEqualShare {
+		return fmt.Errorf("core: invalid algorithm %v", c.Algo)
+	}
+	if c.EnvPerRA != nil && len(c.EnvPerRA) != c.NumRAs {
+		return fmt.Errorf("core: EnvPerRA has %d entries, want %d", len(c.EnvPerRA), c.NumRAs)
+	}
+	if c.Umin != nil && len(c.Umin) != c.EnvTemplate.NumSlices {
+		return fmt.Errorf("core: Umin has %d entries, want %d", len(c.Umin), c.EnvTemplate.NumSlices)
+	}
+	if c.Algo.IsLearning() && c.TrainSteps <= 0 {
+		return fmt.Errorf("core: learning algorithm needs TrainSteps > 0")
+	}
+	tpl := c.EnvTemplate
+	tpl.ObserveQueue = true // normalized before validation; Algo decides
+	return tpl.Validate()
+}
+
+// System is an assembled EdgeSlice deployment: per-RA environments and
+// agents plus the central performance coordinator and system monitor.
+type System struct {
+	cfg    Config
+	envs   []*netsim.RAEnv
+	agents []rl.Agent
+	coord  *admm.Coordinator
+	mon    *monitor.Monitor
+
+	trained bool
+}
+
+// NewSystem builds the system (agents untrained; call Train before
+// RunPeriods for learning algorithms).
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	umin := cfg.Umin
+	if umin == nil {
+		umin = make([]float64, cfg.EnvTemplate.NumSlices)
+		for i := range umin {
+			umin[i] = -50 // the paper's SLA
+		}
+	}
+	coord, err := admm.NewCoordinator(admm.Config{
+		NumSlices:    cfg.EnvTemplate.NumSlices,
+		NumRAs:       cfg.NumRAs,
+		Rho:          cfg.Rho,
+		UminPerSlice: umin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, coord: coord, mon: monitor.New()}
+	for j := 0; j < cfg.NumRAs; j++ {
+		envCfg := cfg.EnvTemplate
+		if cfg.EnvPerRA != nil && cfg.EnvPerRA[j] != nil {
+			envCfg = *cfg.EnvPerRA[j]
+		}
+		envCfg.ObserveQueue = cfg.Algo != AlgoEdgeSliceNT
+		envCfg.TrainCoordRandom = false // orchestration mode
+		envCfg.Seed = cfg.Seed + int64(j)*7919
+		env, err := netsim.New(envCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: RA %d env: %w", j, err)
+		}
+		s.envs = append(s.envs, env)
+	}
+	return s, nil
+}
+
+// Coordinator exposes the ADMM coordinator (read-only use).
+func (s *System) Coordinator() *admm.Coordinator { return s.coord }
+
+// Monitor exposes the system monitor.
+func (s *System) Monitor() *monitor.Monitor { return s.mon }
+
+// Env returns RA j's environment.
+func (s *System) Env(j int) *netsim.RAEnv { return s.envs[j] }
+
+// NumRAs returns the number of resource autonomies.
+func (s *System) NumRAs() int { return len(s.envs) }
+
+// Train prepares the orchestration agents. For TARO/EqualShare it is a
+// no-op. For EdgeSlice variants it trains DDPG agents offline against the
+// simulated environment with randomized coordinating information
+// (Sec. VI-A/VI-B), either one shared agent or one per RA.
+func (s *System) Train() error {
+	if !s.cfg.Algo.IsLearning() {
+		s.trained = true
+		return nil
+	}
+	trainOne := func(seedOffset int64, envCfg netsim.Config) (rl.Agent, error) {
+		envCfg.ObserveQueue = s.cfg.Algo != AlgoEdgeSliceNT
+		envCfg.TrainCoordRandom = true
+		envCfg.Seed = s.cfg.Seed + 104729 + seedOffset
+		env, err := netsim.New(envCfg)
+		if err != nil {
+			return nil, err
+		}
+		dcfg := s.cfg.DDPG
+		dcfg.Seed = s.cfg.Seed + seedOffset
+		agent, err := ddpg.New(env.StateDim(), env.ActionDim(), dcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := agent.Train(env, s.cfg.TrainSteps); err != nil {
+			return nil, err
+		}
+		return agent, nil
+	}
+
+	s.agents = make([]rl.Agent, s.cfg.NumRAs)
+	if s.cfg.ShareAgent {
+		agent, err := trainOne(0, s.envTemplateFor(0))
+		if err != nil {
+			return fmt.Errorf("core: training shared agent: %w", err)
+		}
+		for j := range s.agents {
+			s.agents[j] = agent
+		}
+		s.trained = true
+		return nil
+	}
+	for j := range s.agents {
+		agent, err := trainOne(int64(j+1)*31, s.envTemplateFor(j))
+		if err != nil {
+			return fmt.Errorf("core: training agent %d: %w", j, err)
+		}
+		s.agents[j] = agent
+	}
+	s.trained = true
+	return nil
+}
+
+// SetAgents installs pre-trained agents (e.g. loaded from disk); the slice
+// must have one agent per RA or exactly one (shared).
+func (s *System) SetAgents(agents []rl.Agent) error {
+	switch len(agents) {
+	case s.cfg.NumRAs:
+		s.agents = append([]rl.Agent(nil), agents...)
+	case 1:
+		s.agents = make([]rl.Agent, s.cfg.NumRAs)
+		for j := range s.agents {
+			s.agents[j] = agents[0]
+		}
+	default:
+		return fmt.Errorf("core: got %d agents, want 1 or %d", len(agents), s.cfg.NumRAs)
+	}
+	s.trained = true
+	return nil
+}
+
+// Actor returns RA j's trained actor network, or an error if the RA's
+// agent is not a DDPG agent (baselines and loaded policies have no
+// serializable actor).
+func (s *System) Actor(j int) (*nn.Network, error) {
+	if j < 0 || j >= len(s.agents) {
+		return nil, fmt.Errorf("core: RA %d has no agent (trained: %v)", j, s.trained)
+	}
+	dd, ok := s.agents[j].(*ddpg.Agent)
+	if !ok {
+		return nil, fmt.Errorf("core: RA %d agent is %T, not a DDPG agent", j, s.agents[j])
+	}
+	return dd.Actor(), nil
+}
+
+func (s *System) envTemplateFor(j int) netsim.Config {
+	if s.cfg.EnvPerRA != nil && s.cfg.EnvPerRA[j] != nil {
+		return *s.cfg.EnvPerRA[j]
+	}
+	return s.cfg.EnvTemplate
+}
+
+// action computes RA j's orchestration action for the current interval.
+func (s *System) action(j int) ([]float64, error) {
+	env := s.envs[j]
+	switch s.cfg.Algo {
+	case AlgoEdgeSlice, AlgoEdgeSliceNT:
+		return s.agents[j].Act(env.State()), nil
+	case AlgoTARO:
+		return baseline.TARO(env.QueueLens(), netsim.NumResources)
+	case AlgoEqualShare:
+		return baseline.EqualShare(s.cfg.EnvTemplate.NumSlices, netsim.NumResources)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", s.cfg.Algo)
+	}
+}
+
+// RunPeriods executes Algorithm 1 for n periods: each period, every RA's
+// agent orchestrates T intervals under the current coordinating
+// information, the coordinator collects Σ_t U and updates (Z, Y), and the
+// new coordination is fed back to the agents.
+func (s *System) RunPeriods(n int) (*History, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: periods %d must be positive", n)
+	}
+	if !s.trained {
+		return nil, fmt.Errorf("core: RunPeriods before Train/SetAgents")
+	}
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	T := s.cfg.EnvTemplate.T
+	h := NewHistory(I, J, T)
+
+	for p := 0; p < n; p++ {
+		// Distribute coordination to every RA (Alg. 1: agents act under
+		// the coordinating information for all intervals in T).
+		zGrid := s.coord.Z()
+		yGrid := s.coord.Y()
+		for j := 0; j < J; j++ {
+			zCol := make([]float64, I)
+			yCol := make([]float64, I)
+			for i := 0; i < I; i++ {
+				zCol[i] = zGrid[i][j]
+				yCol[i] = yGrid[i][j]
+			}
+			if err := s.envs[j].SetCoordination(zCol, yCol); err != nil {
+				return nil, err
+			}
+		}
+
+		// Run T intervals in each RA (decentralized x-update).
+		perf := make([][]float64, I)
+		for i := range perf {
+			perf[i] = make([]float64, J)
+		}
+		for t := 0; t < T; t++ {
+			interval := p*T + t
+			var sysPerf float64
+			slicePerf := make([]float64, I)
+			usage := make([][]float64, I)
+			for i := range usage {
+				usage[i] = make([]float64, netsim.NumResources)
+			}
+			var violation float64
+			for j := 0; j < J; j++ {
+				act, err := s.action(j)
+				if err != nil {
+					return nil, err
+				}
+				res, err := s.envs[j].StepInterval(act)
+				if err != nil {
+					return nil, fmt.Errorf("core: RA %d interval %d: %w", j, interval, err)
+				}
+				violation += res.Violation
+				for i := 0; i < I; i++ {
+					sysPerf += res.Perf[i]
+					slicePerf[i] += res.Perf[i]
+					for k := 0; k < netsim.NumResources; k++ {
+						usage[i][k] += res.Effective[i][k] / float64(J)
+					}
+					s.recordInterval(j, i, interval, res)
+				}
+			}
+			h.AddInterval(sysPerf, slicePerf, usage, violation)
+		}
+
+		// Collect Σ_t U per slice per RA and update the coordinator.
+		for j := 0; j < J; j++ {
+			pp := s.envs[j].PeriodPerf()
+			for i := 0; i < I; i++ {
+				perf[i][j] = pp[i]
+			}
+		}
+		if err := s.coord.Update(perf); err != nil {
+			return nil, err
+		}
+		sla, err := s.coord.SLASatisfied(perf)
+		if err != nil {
+			return nil, err
+		}
+		primal, dual := s.coord.Residuals()
+		h.AddPeriod(perf, sla, primal, dual)
+	}
+	return h, nil
+}
+
+// recordInterval writes per-interval metrics into the system monitor.
+func (s *System) recordInterval(ra, slice, interval int, res netsim.StepResult) {
+	// Monitor writes cannot fail here (intervals are monotone); ignore the
+	// error to keep the hot loop simple but assert in tests.
+	_ = s.mon.Record(monitor.MetricName("perf", ra, slice), interval, res.Perf[slice])
+	_ = s.mon.Record(monitor.MetricName("queue", ra, slice), interval, float64(res.QueueLens[slice]))
+}

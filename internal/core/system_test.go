@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edgeslice/internal/rl"
+	"edgeslice/internal/rl/ddpg"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.NumRAs = 0 },
+		func(c *Config) { c.Algo = 0 },
+		func(c *Config) { c.Umin = []float64{1} },
+		func(c *Config) { c.TrainSteps = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	cases := map[Algorithm]string{
+		AlgoEdgeSlice:   "EdgeSlice",
+		AlgoEdgeSliceNT: "EdgeSlice-NT",
+		AlgoTARO:        "TARO",
+		AlgoEqualShare:  "EqualShare",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if !AlgoEdgeSlice.IsLearning() || AlgoTARO.IsLearning() {
+		t.Error("IsLearning misclassifies")
+	}
+}
+
+func TestRunBeforeTrainFails(t *testing.T) {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunPeriods(1); err == nil {
+		t.Error("RunPeriods before Train should fail")
+	}
+}
+
+func TestTAROOrchestration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = AlgoTARO
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil { // no-op for TARO
+		t.Fatal(err)
+	}
+	h, err := s.RunPeriods(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Intervals() != 5*cfg.EnvTemplate.T {
+		t.Errorf("intervals = %d, want %d", h.Intervals(), 5*cfg.EnvTemplate.T)
+	}
+	if h.Periods() != 5 {
+		t.Errorf("periods = %d, want 5", h.Periods())
+	}
+	// Monitor should have been populated.
+	if len(s.Monitor().Metrics()) == 0 {
+		t.Error("monitor has no metrics after a run")
+	}
+}
+
+func TestEqualShareOrchestration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = AlgoEqualShare
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.RunPeriods(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal share: both slices always use identical shares.
+	for _, u := range h.Usage {
+		for k := range u[0] {
+			if u[0][k] != u[1][k] {
+				t.Fatalf("equal-share usage differs: %v vs %v", u[0], u[1])
+			}
+		}
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	h := NewHistory(2, 2, 10)
+	if _, err := h.MeanSystemPerf(5); err == nil {
+		t.Error("empty history should error")
+	}
+	if _, err := h.MeanUsage(0, 0, 5); err == nil {
+		t.Error("empty usage should error")
+	}
+	if _, err := h.SLASatisfactionRate(1); err == nil {
+		t.Error("empty SLA should error")
+	}
+	h.AddInterval(-10, []float64{-4, -6}, [][]float64{{0.5, 0.4, 0.1}, {0.1, 0.2, 0.6}}, 0)
+	h.AddPeriod([][]float64{{-4, -4}, {-6, -6}}, []bool{true, false}, 0.1, 0.2)
+	mp, err := h.MeanSystemPerf(0)
+	if err != nil || mp != -10 {
+		t.Errorf("MeanSystemPerf = %v (%v)", mp, err)
+	}
+	u, err := h.MeanUsage(1, 2, 0)
+	if err != nil || u != 0.6 {
+		t.Errorf("MeanUsage = %v (%v)", u, err)
+	}
+	ratio, err := h.UsageRatio(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 + 0.4 + 0.1) / (0.1 + 0.2 + 0.6)
+	if ratio != want {
+		t.Errorf("UsageRatio = %v, want %v", ratio, want)
+	}
+	rate, err := h.SLASatisfactionRate(0)
+	if err != nil || rate != 0.5 {
+		t.Errorf("SLASatisfactionRate = %v (%v)", rate, err)
+	}
+	if _, err := h.MeanUsage(9, 0, 1); err == nil {
+		t.Error("out-of-range slice should error")
+	}
+}
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainSteps = 400 // just enough to build networks
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	dd, ok := s.agents[0].(*ddpg.Agent)
+	if !ok {
+		t.Fatalf("agent is %T, want *ddpg.Agent", s.agents[0])
+	}
+	var buf bytes.Buffer
+	if err := SaveAgent(&buf, dd.Actor()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAgent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0.2, 0.1, -0.3, -0.5}
+	a := dd.Act(state)
+	b := loaded.Act(state)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored policy differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if err := SaveAgent(&buf, nil); err == nil {
+		t.Error("nil actor should fail")
+	}
+}
+
+func TestLoadAgentRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"format":"wrong","actor":null}`,
+		`{"format":"edgeslice-actor-v1","actor":null}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadAgent(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadAgent(%q) should fail", c)
+		}
+	}
+}
+
+func TestSetAgents(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = AlgoEdgeSlice
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := rl.AgentFunc(func(state []float64) []float64 {
+		return make([]float64, 6)
+	})
+	if err := s.SetAgents([]rl.Agent{stub}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunPeriods(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAgents([]rl.Agent{stub, stub, stub}); err == nil {
+		t.Error("wrong agent count should fail")
+	}
+}

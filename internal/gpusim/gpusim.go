@@ -1,0 +1,317 @@
+// Package gpusim implements the EdgeSlice computing manager (Sec. V-C) and
+// the substrate it controls in the prototype — a CUDA GPU shared by
+// multiple applications under MPS. The substitute is a discrete-event GPU
+// simulator: the device has a fixed thread capacity (the prototype RAs
+// expose 51200 CUDA threads), applications submit kernels that each request
+// a number of threads for a duration, and kernels of one application
+// execute in order.
+//
+// Because MPS scheduling is opaque, the paper controls per-application
+// usage with a kernel-split mechanism: a kernel requesting more threads
+// than the application's virtual resource is split into multiple smaller,
+// consecutive kernels, so the application's concurrent thread usage never
+// exceeds its allocation. SplitKernel reproduces exactly that mechanism.
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultThreads is the per-RA CUDA thread capacity of the prototype.
+const DefaultThreads = 51200
+
+// Kernel is one CUDA kernel launch: it wants Threads concurrent threads for
+// Duration time units of work (work = Threads × Duration thread-units).
+type Kernel struct {
+	Threads  int
+	Duration float64
+}
+
+// Validate checks the kernel.
+func (k Kernel) Validate() error {
+	if k.Threads <= 0 {
+		return fmt.Errorf("gpusim: kernel threads %d must be positive", k.Threads)
+	}
+	if k.Duration <= 0 {
+		return fmt.Errorf("gpusim: kernel duration %v must be positive", k.Duration)
+	}
+	return nil
+}
+
+// SplitKernel splits a kernel into consecutive sub-kernels of at most
+// maxThreads concurrent threads while preserving total work, the paper's
+// kernel-split mechanism. A kernel already within budget is returned as-is.
+func SplitKernel(k Kernel, maxThreads int) ([]Kernel, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if maxThreads <= 0 {
+		return nil, fmt.Errorf("gpusim: maxThreads %d must be positive", maxThreads)
+	}
+	if k.Threads <= maxThreads {
+		return []Kernel{k}, nil
+	}
+	work := float64(k.Threads) * k.Duration
+	n := (k.Threads + maxThreads - 1) / maxThreads
+	// n-1 full chunks plus a remainder chunk; durations keep work constant.
+	out := make([]Kernel, 0, n)
+	remaining := k.Threads
+	for remaining > 0 {
+		chunk := maxThreads
+		if remaining < chunk {
+			chunk = remaining
+		}
+		out = append(out, Kernel{Threads: chunk, Duration: k.Duration})
+		remaining -= chunk
+	}
+	// Sanity: work is preserved (each original thread still runs Duration).
+	var got float64
+	for _, sk := range out {
+		got += float64(sk.Threads) * sk.Duration
+	}
+	if diff := got - work; diff > 1e-9 || diff < -1e-9 {
+		return nil, fmt.Errorf("gpusim: split changed work: %v vs %v", got, work)
+	}
+	return out, nil
+}
+
+// App is an application sharing the GPU. Its kernels run in submission
+// order (CUDA streams within one process are in-order), each split to
+// respect the app's virtual-resource thread cap.
+type App struct {
+	ID         int
+	maxThreads int // virtual resource: max concurrent threads
+	pending    []Kernel
+	completed  int
+	// runningFinish is the finish time of the kernel currently executing,
+	// or a negative value when the app is idle. Kernels may span multiple
+	// Run windows.
+	runningFinish float64
+	busyUntil     float64
+}
+
+// GPU is the simulated device.
+type GPU struct {
+	capacity int
+	apps     map[int]*App
+	now      float64
+
+	// peakUsage tracks the max concurrent threads ever observed, per app
+	// and total, to audit the kernel-split guarantee.
+	peakPerApp map[int]int
+	peakTotal  int
+}
+
+// New creates a GPU with the given thread capacity.
+func New(capacity int) (*GPU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("gpusim: capacity %d must be positive", capacity)
+	}
+	return &GPU{
+		capacity:   capacity,
+		apps:       make(map[int]*App),
+		peakPerApp: make(map[int]int),
+	}, nil
+}
+
+// Register adds an application with an initial thread cap.
+func (g *GPU) Register(appID, maxThreads int) error {
+	if _, ok := g.apps[appID]; ok {
+		return fmt.Errorf("gpusim: app %d already registered", appID)
+	}
+	if maxThreads < 0 || maxThreads > g.capacity {
+		return fmt.Errorf("gpusim: app %d cap %d out of [0, %d]", appID, maxThreads, g.capacity)
+	}
+	g.apps[appID] = &App{ID: appID, maxThreads: maxThreads, runningFinish: -1}
+	return nil
+}
+
+// SetCap updates an application's virtual resource at runtime (the VR-C
+// interface update from the orchestration agent). Kernels already queued
+// are re-split lazily at dispatch.
+func (g *GPU) SetCap(appID, maxThreads int) error {
+	app, ok := g.apps[appID]
+	if !ok {
+		return fmt.Errorf("gpusim: unknown app %d", appID)
+	}
+	if maxThreads < 0 || maxThreads > g.capacity {
+		return fmt.Errorf("gpusim: cap %d out of [0, %d]", maxThreads, g.capacity)
+	}
+	app.maxThreads = maxThreads
+	return nil
+}
+
+// Submit queues a kernel for an application.
+func (g *GPU) Submit(appID int, k Kernel) error {
+	app, ok := g.apps[appID]
+	if !ok {
+		return fmt.Errorf("gpusim: unknown app %d", appID)
+	}
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	app.pending = append(app.pending, k)
+	return nil
+}
+
+// Run advances the simulation by dt time units, dispatching each app's
+// pending kernels in order with the kernel-split cap applied, and returns
+// the number of (whole, original) kernels completed during the window.
+//
+// The model: an app executes its split chunks back to back; a chunk of T
+// threads and duration D occupies T threads for D time. Apps run
+// concurrently (MPS), subject to the device capacity: if the sum of active
+// apps' caps exceeds capacity, each app's effective throughput is scaled by
+// capacity/Σcaps — the contention behaviour that makes uncontrolled MPS
+// sharing unpredictable and motivates the virtual-resource caps.
+func (g *GPU) Run(dt float64) (int, error) {
+	if dt <= 0 {
+		return 0, fmt.Errorf("gpusim: dt %v must be positive", dt)
+	}
+	end := g.now + dt
+	completedTotal := 0
+
+	// Contention factor from caps of apps with pending work.
+	var capSum int
+	for _, app := range g.apps {
+		if len(app.pending) > 0 && app.maxThreads > 0 {
+			capSum += app.maxThreads
+		}
+	}
+	slow := 1.0
+	if capSum > g.capacity {
+		slow = float64(capSum) / float64(g.capacity)
+	}
+	if capSum > g.peakTotal {
+		// Effective concurrent usage is bounded by device capacity even
+		// under contention; record the *granted* concurrency.
+		if capSum > g.capacity {
+			g.peakTotal = g.capacity
+		} else {
+			g.peakTotal = capSum
+		}
+	}
+
+	ids := make([]int, 0, len(g.apps))
+	for id := range g.apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		app := g.apps[id]
+		for {
+			// Retire the in-flight kernel if it finishes inside the window.
+			if app.runningFinish >= 0 {
+				if app.runningFinish > end {
+					break
+				}
+				app.completed++
+				completedTotal++
+				app.runningFinish = -1
+			}
+			if len(app.pending) == 0 || app.maxThreads == 0 {
+				break // idle, or starved of virtual resources
+			}
+			start := g.now
+			if app.busyUntil > start {
+				start = app.busyUntil
+			}
+			if start >= end {
+				break
+			}
+			k := app.pending[0]
+			chunks, err := SplitKernel(k, app.maxThreads)
+			if err != nil {
+				return completedTotal, err
+			}
+			var kernelTime float64
+			for _, c := range chunks {
+				kernelTime += c.Duration * slow
+				if c.Threads > g.peakPerApp[id] {
+					g.peakPerApp[id] = c.Threads
+				}
+			}
+			app.pending = app.pending[1:]
+			app.runningFinish = start + kernelTime
+			app.busyUntil = app.runningFinish
+		}
+	}
+	g.now = end
+	return completedTotal, nil
+}
+
+// Completed returns the number of whole kernels an app has finished.
+func (g *GPU) Completed(appID int) int {
+	if app, ok := g.apps[appID]; ok {
+		return app.completed
+	}
+	return 0
+}
+
+// Pending returns the number of queued kernels for an app.
+func (g *GPU) Pending(appID int) int {
+	if app, ok := g.apps[appID]; ok {
+		return len(app.pending)
+	}
+	return 0
+}
+
+// PeakThreads returns the maximum concurrent threads observed for an app.
+func (g *GPU) PeakThreads(appID int) int { return g.peakPerApp[appID] }
+
+// Capacity returns the device thread capacity.
+func (g *GPU) Capacity() int { return g.capacity }
+
+// Now returns the simulation clock.
+func (g *GPU) Now() float64 { return g.now }
+
+// Manager is the computing manager middleware (VR-C interface): it converts
+// per-slice compute shares into per-application thread caps.
+type Manager struct {
+	gpu *GPU
+	// appsBySlice maps slice id -> app ids whose caps the slice share controls.
+	appsBySlice map[int][]int
+}
+
+// NewManager wraps a GPU.
+func NewManager(gpu *GPU) *Manager {
+	return &Manager{gpu: gpu, appsBySlice: make(map[int][]int)}
+}
+
+// Bind associates an application with a slice (IP-based association in the
+// prototype).
+func (m *Manager) Bind(sliceID, appID int) error {
+	if _, ok := m.gpu.apps[appID]; !ok {
+		return fmt.Errorf("gpusim: unknown app %d", appID)
+	}
+	m.appsBySlice[sliceID] = append(m.appsBySlice[sliceID], appID)
+	return nil
+}
+
+// Apply installs per-slice compute shares: each slice's thread budget is
+// share × capacity, divided evenly among its bound applications.
+func (m *Manager) Apply(shares []float64) error {
+	for slice, share := range shares {
+		apps := m.appsBySlice[slice]
+		if len(apps) == 0 {
+			continue
+		}
+		if share < 0 {
+			share = 0
+		}
+		if share > 1 {
+			share = 1
+		}
+		per := int(share * float64(m.gpu.capacity) / float64(len(apps)))
+		for _, id := range apps {
+			if err := m.gpu.SetCap(id, per); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GPU returns the managed device.
+func (m *Manager) GPU() *GPU { return m.gpu }

@@ -1,0 +1,259 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitKernelWithinBudget(t *testing.T) {
+	ks, err := SplitKernel(Kernel{Threads: 1000, Duration: 2}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 || ks[0].Threads != 1000 {
+		t.Errorf("within-budget kernel should not split: %v", ks)
+	}
+}
+
+func TestSplitKernelSplits(t *testing.T) {
+	ks, err := SplitKernel(Kernel{Threads: 5000, Duration: 1}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 { // 2000 + 2000 + 1000
+		t.Fatalf("split into %d chunks, want 3", len(ks))
+	}
+	var work float64
+	for _, k := range ks {
+		if k.Threads > 2000 {
+			t.Errorf("chunk %d threads exceeds cap", k.Threads)
+		}
+		work += float64(k.Threads) * k.Duration
+	}
+	if work != 5000 {
+		t.Errorf("total work %v, want 5000", work)
+	}
+}
+
+func TestSplitKernelValidation(t *testing.T) {
+	if _, err := SplitKernel(Kernel{Threads: 0, Duration: 1}, 100); err == nil {
+		t.Error("zero threads should fail")
+	}
+	if _, err := SplitKernel(Kernel{Threads: 10, Duration: 0}, 100); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := SplitKernel(Kernel{Threads: 10, Duration: 1}, 0); err == nil {
+		t.Error("zero cap should fail")
+	}
+}
+
+// Property: splitting preserves total work and never exceeds the cap.
+func TestSplitKernelProperty(t *testing.T) {
+	f := func(threadsRaw, capRaw uint16) bool {
+		threads := int(threadsRaw)%10000 + 1
+		maxT := int(capRaw)%5000 + 1
+		ks, err := SplitKernel(Kernel{Threads: threads, Duration: 1.5}, maxT)
+		if err != nil {
+			return false
+		}
+		var work float64
+		for _, k := range ks {
+			if k.Threads > maxT || k.Threads <= 0 {
+				return false
+			}
+			work += float64(k.Threads) * k.Duration
+		}
+		return work == float64(threads)*1.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPUValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	g, _ := New(DefaultThreads)
+	if err := g.Register(1, DefaultThreads+1); err == nil {
+		t.Error("cap above capacity should fail")
+	}
+	if err := g.Register(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(1, 1000); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	if err := g.SetCap(99, 10); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if err := g.Submit(99, Kernel{Threads: 1, Duration: 1}); err == nil {
+		t.Error("submit to unknown app should fail")
+	}
+	if err := g.Submit(1, Kernel{Threads: 0, Duration: 1}); err == nil {
+		t.Error("invalid kernel should fail")
+	}
+	if _, err := g.Run(0); err == nil {
+		t.Error("non-positive dt should fail")
+	}
+}
+
+func TestKernelSplitCapsConcurrency(t *testing.T) {
+	g, _ := New(DefaultThreads)
+	if err := g.Register(1, 4000); err != nil {
+		t.Fatal(err)
+	}
+	// A kernel wanting 20000 threads must never occupy more than 4000.
+	if err := g.Submit(1, Kernel{Threads: 20000, Duration: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if g.Completed(1) != 1 {
+		t.Fatalf("kernel should complete, got %d", g.Completed(1))
+	}
+	if g.PeakThreads(1) > 4000 {
+		t.Errorf("peak threads %d exceeded cap 4000", g.PeakThreads(1))
+	}
+}
+
+func TestSmallerCapSlowsApp(t *testing.T) {
+	run := func(cap int) float64 {
+		g, _ := New(DefaultThreads)
+		if err := g.Register(1, cap); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := g.Submit(1, Kernel{Threads: 10000, Duration: 0.1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := 0
+		var elapsed float64
+		for done < 10 && elapsed < 1000 {
+			n, err := g.Run(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done += n
+			elapsed += 0.5
+		}
+		return elapsed
+	}
+	fast := run(10000)
+	slow := run(2000)
+	if slow <= fast {
+		t.Errorf("smaller cap should slow completion: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestZeroCapStarves(t *testing.T) {
+	g, _ := New(1000)
+	if err := g.Register(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(1, Kernel{Threads: 10, Duration: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if g.Completed(1) != 0 || g.Pending(1) != 1 {
+		t.Error("zero-cap app must not run")
+	}
+}
+
+func TestContentionSlowsEveryone(t *testing.T) {
+	elapsed := func(cap2 int) float64 {
+		g, _ := New(10000)
+		if err := g.Register(1, 8000); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Register(2, cap2); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Submit(1, Kernel{Threads: 8000, Duration: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if cap2 > 0 {
+			if err := g.Submit(2, Kernel{Threads: cap2, Duration: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total float64
+		for g.Completed(1) == 0 && total < 100 {
+			if _, err := g.Run(0.25); err != nil {
+				t.Fatal(err)
+			}
+			total += 0.25
+		}
+		return total
+	}
+	alone := elapsed(0)
+	contended := elapsed(8000) // 8000+8000 > 10000 capacity
+	if contended <= alone {
+		t.Errorf("contention should slow app 1: alone=%v contended=%v", alone, contended)
+	}
+}
+
+func TestRuntimeCapUpdate(t *testing.T) {
+	g, _ := New(10000)
+	if err := g.Register(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCap(1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(1, Kernel{Threads: 5000, Duration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Completed(1) != 1 {
+		t.Error("kernel should finish after cap raise")
+	}
+	if err := g.SetCap(1, -1); err == nil {
+		t.Error("negative cap should fail")
+	}
+}
+
+func TestManagerBindApply(t *testing.T) {
+	g, _ := New(10000)
+	if err := g.Register(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(g)
+	if err := m.Bind(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind(0, 99); err == nil {
+		t.Error("binding unknown app should fail")
+	}
+	if err := m.Apply([]float64{0.5, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if g.apps[1].maxThreads != 5000 {
+		t.Errorf("app 1 cap %d, want 5000", g.apps[1].maxThreads)
+	}
+	if g.apps[2].maxThreads != 2500 {
+		t.Errorf("app 2 cap %d, want 2500", g.apps[2].maxThreads)
+	}
+	// Clamping out-of-range shares.
+	if err := m.Apply([]float64{-1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if g.apps[1].maxThreads != 0 || g.apps[2].maxThreads != 10000 {
+		t.Error("shares should clamp to [0,1]")
+	}
+	if m.GPU() != g {
+		t.Error("GPU accessor mismatch")
+	}
+}

@@ -1,0 +1,159 @@
+// Package linreg provides ordinary least-squares linear regression, the
+// substitute for the scikit-learn LinearRegression the paper uses to
+// approximate the correlation between orchestration actions and slice
+// performance (Sec. VI-B): the simulated environment's training dataset
+// contains only discrete grid actions, and a local linear model fitted on
+// adjacent actions predicts the service time of off-grid actions.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular, e.g. from duplicate or collinear samples.
+var ErrSingular = errors.New("linreg: singular system")
+
+// Model is a fitted linear model y = intercept + Σ coef_d · x_d.
+type Model struct {
+	Intercept float64
+	Coef      []float64
+}
+
+// Fit solves ordinary least squares on the given samples via the normal
+// equations with partial-pivot Gaussian elimination. It requires at least
+// dim+1 samples.
+func Fit(xs [][]float64, ys []float64) (*Model, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("linreg: %d samples vs %d targets", n, len(ys))
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("linreg: sample %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	if n < dim+1 {
+		return nil, fmt.Errorf("linreg: need at least %d samples for %d features, got %d", dim+1, dim, n)
+	}
+	// Design matrix with a leading 1 column: solve (AᵀA)β = Aᵀy.
+	d := dim + 1
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	aty := make([]float64, d)
+	row := make([]float64, d)
+	for s := 0; s < n; s++ {
+		row[0] = 1
+		copy(row[1:], xs[s])
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * ys[s]
+		}
+	}
+	// Ridge-stabilize slightly to tolerate near-collinear local fits.
+	for i := 0; i < d; i++ {
+		ata[i][i] += 1e-9
+	}
+	beta, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Intercept: beta[0], Coef: beta[1:]}, nil
+}
+
+// Predict evaluates the model at x.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Coef) {
+		return 0, fmt.Errorf("linreg: predict with %d features, want %d", len(x), len(m.Coef))
+	}
+	y := m.Intercept
+	for i, c := range m.Coef {
+		y += c * x[i]
+	}
+	return y, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = m[i][n]
+		for j := i + 1; j < n; j++ {
+			x[i] -= m[i][j] * x[j]
+		}
+		x[i] /= m[i][i]
+	}
+	return x, nil
+}
+
+// LocalFit fits a linear model on the k nearest samples to query (Euclidean
+// distance), the paper's "adjacent orchestration actions" procedure. The
+// returned model is only valid near the query point.
+func LocalFit(xs [][]float64, ys []float64, query []float64, k int) (*Model, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil, fmt.Errorf("linreg: %d samples vs %d targets", len(xs), len(ys))
+	}
+	if k < len(query)+1 {
+		return nil, fmt.Errorf("linreg: k=%d too small for %d features", k, len(query))
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(xs))
+	for i, x := range xs {
+		if len(x) != len(query) {
+			return nil, fmt.Errorf("linreg: sample %d dimension mismatch", i)
+		}
+		var d float64
+		for j := range x {
+			diff := x[j] - query[j]
+			d += diff * diff
+		}
+		cands[i] = cand{i, d}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	nx := make([][]float64, k)
+	ny := make([]float64, k)
+	for i := 0; i < k; i++ {
+		nx[i] = xs[cands[i].idx]
+		ny[i] = ys[cands[i].idx]
+	}
+	return Fit(nx, ny)
+}

@@ -1,0 +1,148 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-1) > 1e-6 || math.Abs(m.Coef[0]-2) > 1e-6 {
+		t.Errorf("fit = %+v, want intercept 1 coef 2", m)
+	}
+	y, err := m.Predict([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-21) > 1e-6 {
+		t.Errorf("Predict(10) = %v, want 21", y)
+	}
+}
+
+func TestFitMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7)) //nolint:gosec // test
+	// y = 2 - x0 + 3x1 + noise-free
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 2-x[0]+3*x[1])
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-2) > 1e-6 || math.Abs(m.Coef[0]+1) > 1e-6 || math.Abs(m.Coef[1]-3) > 1e-6 {
+		t.Errorf("fit = %+v", m)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged features should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit should fail")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	m := &Model{Intercept: 0, Coef: []float64{1, 2}}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("wrong feature count should fail")
+	}
+}
+
+func TestLocalFitPrefersNeighbors(t *testing.T) {
+	// Piecewise data: slope 1 below x=5, slope 10 above. A local fit near
+	// x=1 must find slope ~1.
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x <= 10; x += 0.5 {
+		xs = append(xs, []float64{x})
+		if x < 5 {
+			ys = append(ys, x)
+		} else {
+			ys = append(ys, 5+10*(x-5))
+		}
+	}
+	m, err := LocalFit(xs, ys, []float64{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-1) > 0.2 {
+		t.Errorf("local slope %v, want ~1", m.Coef[0])
+	}
+}
+
+func TestLocalFitValidation(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{1, 2, 3}
+	if _, err := LocalFit(xs, ys, []float64{1}, 1); err == nil {
+		t.Error("k too small should fail")
+	}
+	if _, err := LocalFit(nil, nil, []float64{1}, 3); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := LocalFit([][]float64{{1, 2}}, []float64{1}, []float64{1}, 2); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+// Property: OLS residuals are orthogonal to the fitted values on exact
+// recoverable data, i.e. fitting recovers planted linear functions.
+func TestFitRecoversPlantedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed)) //nolint:gosec // test
+		intercept := rng.NormFloat64() * 3
+		coef := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 30; i++ {
+			x := []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+			y := intercept
+			for d := range coef {
+				y += coef[d] * x[d]
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		if math.Abs(m.Intercept-intercept) > 1e-5 {
+			return false
+		}
+		for d := range coef {
+			if math.Abs(m.Coef[d]-coef[d]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	_, err := solve([][]float64{{0, 0}, {0, 0}}, []float64{1, 1})
+	if err == nil {
+		t.Error("singular system should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package mathutil
+
+import "sort"
+
+// CDFPoint is one point on an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value float64 // sample value
+	Prob  float64 // P(X <= Value)
+}
+
+// EmpiricalCDF returns the empirical CDF of the samples as a sorted list of
+// (value, probability) points. It returns nil for empty input.
+func EmpiricalCDF(samples Vec) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := Clone(samples)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Prob: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFAt returns the empirical probability P(X <= x) for the samples.
+func CDFAt(samples Vec, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var c int
+	for _, v := range samples {
+		if v <= x {
+			c++
+		}
+	}
+	return float64(c) / float64(len(samples))
+}
+
+// FractionAbove returns P(X > x), the complement of the CDF, which the paper
+// uses in statements like "80% of the slice performance is larger than -30".
+func FractionAbove(samples Vec, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	return 1 - CDFAt(samples, x)
+}

@@ -1,0 +1,214 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Sum(Add(a, b)); got != 21 {
+		t.Errorf("Sum(Add) = %v, want 21", got)
+	}
+	if got := Sum(Sub(b, a)); got != 9 {
+		t.Errorf("Sum(Sub) = %v, want 9", got)
+	}
+	if got := Sum(Scale(a, 2)); got != 12 {
+		t.Errorf("Sum(Scale) = %v, want 12", got)
+	}
+	if got := Mean(a); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Min(b); got != 4 {
+		t.Errorf("Min = %v, want 4", got)
+	}
+	if got := Max(a); got != 3 {
+		t.Errorf("Max = %v, want 3", got)
+	}
+	if got := ArgMax(Vec{1, 5, 2}); got != 1 {
+		t.Errorf("ArgMax = %v, want 1", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %v, want -1", got)
+	}
+}
+
+func TestAxpyTo(t *testing.T) {
+	dst := Zeros(3)
+	AxpyTo(dst, 2, Vec{1, 2, 3}, Vec{10, 10, 10})
+	want := Vec{12, 14, 16}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vec{3, -4}
+	if got := Norm2(v); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{-1, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+		{2, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	v := Vec{-5, 0.3, 9}
+	ClampVec(v, 0, 1)
+	if v[0] != 0 || v[1] != 0.3 || v[2] != 1 {
+		t.Errorf("ClampVec = %v", v)
+	}
+}
+
+func TestPosPart(t *testing.T) {
+	if PosPart(-3) != 0 || PosPart(2) != 2 || PosPart(0) != 0 {
+		t.Error("PosPart incorrect")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := Vec{1, 2, 3, 4, 5}
+	p50, err := Percentile(v, 50)
+	if err != nil || p50 != 3 {
+		t.Errorf("P50 = %v (%v), want 3", p50, err)
+	}
+	p0, _ := Percentile(v, 0)
+	p100, _ := Percentile(v, 100)
+	if p0 != 1 || p100 != 5 {
+		t.Errorf("P0=%v P100=%v", p0, p100)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile of empty should fail")
+	}
+	if _, err := Percentile(v, 120); err == nil {
+		t.Error("Percentile out of range should fail")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	v := Vec{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(v); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(v); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance(Vec{1}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot(Vec{1}, Vec{1, 2})
+}
+
+// Property: Dot(a, a) >= 0 and Norm2 is absolutely homogeneous.
+func TestNormProperties(t *testing.T) {
+	f := func(raw []float64, s float64) bool {
+		v := make(Vec, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			v = append(v, x)
+		}
+		if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e6 {
+			s = 1
+		}
+		if Dot(v, v) < 0 {
+			return false
+		}
+		lhs := Norm2(Scale(v, s))
+		rhs := math.Abs(s) * Norm2(v)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	samples := Vec{1, 2, 3, 4}
+	pts := EmpiricalCDF(samples)
+	if len(pts) != 4 {
+		t.Fatalf("CDF points = %d, want 4", len(pts))
+	}
+	if pts[3].Prob != 1 {
+		t.Errorf("last CDF prob = %v, want 1", pts[3].Prob)
+	}
+	if got := CDFAt(samples, 2); got != 0.5 {
+		t.Errorf("CDFAt(2) = %v, want 0.5", got)
+	}
+	if got := FractionAbove(samples, 2); got != 0.5 {
+		t.Errorf("FractionAbove(2) = %v, want 0.5", got)
+	}
+	if EmpiricalCDF(nil) != nil {
+		t.Error("EmpiricalCDF(nil) should be nil")
+	}
+	if CDFAt(nil, 1) != 0 || FractionAbove(nil, 1) != 0 {
+		t.Error("empty-sample CDF helpers should return 0")
+	}
+}
+
+// Property: empirical CDF is monotone nondecreasing in both value and prob.
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make(Vec, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		pts := EmpiricalCDF(v)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Prob < pts[i-1].Prob {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := NewRNG(7)
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Error("Poisson with non-positive lambda should be 0")
+	}
+	// Sample mean should approach lambda for both regimes.
+	for _, lambda := range []float64{3, 50} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(rng, lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.2 {
+			t.Errorf("Poisson(%v) sample mean %v", lambda, mean)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package monitor implements the EdgeSlice system monitor (Sec. V-D): it
+// collects network-state information (traffic load, slice performance,
+// queue status) into an in-memory time-series dataset and records the
+// user–slice associations keyed by IMSI (radio domain) and IP address
+// (transport and computing domains) that the resource managers rely on.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sample is one time-series point.
+type Sample struct {
+	Interval int
+	Value    float64
+}
+
+// Monitor is a thread-safe metrics dataset plus the association database.
+type Monitor struct {
+	mu sync.RWMutex
+
+	series map[string][]Sample
+	byIMSI map[string]int
+	byIP   map[string]int
+}
+
+// New creates an empty monitor.
+func New() *Monitor {
+	return &Monitor{
+		series: make(map[string][]Sample),
+		byIMSI: make(map[string]int),
+		byIP:   make(map[string]int),
+	}
+}
+
+// MetricName builds the canonical metric key for a slice/RA pair, e.g.
+// "perf/ra0/slice1" or "queue/ra2/slice0".
+func MetricName(kind string, ra, slice int) string {
+	return fmt.Sprintf("%s/ra%d/slice%d", kind, ra, slice)
+}
+
+// Record appends a sample to a metric. Intervals are expected to be
+// non-decreasing per metric; out-of-order samples are rejected so queries
+// can binary-search.
+func (m *Monitor) Record(metric string, interval int, value float64) error {
+	if metric == "" {
+		return fmt.Errorf("monitor: empty metric name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series[metric]
+	if n := len(s); n > 0 && s[n-1].Interval > interval {
+		return fmt.Errorf("monitor: out-of-order sample for %s: %d after %d",
+			metric, interval, s[n-1].Interval)
+	}
+	m.series[metric] = append(s, Sample{Interval: interval, Value: value})
+	return nil
+}
+
+// Query returns samples of a metric with Interval in [from, to].
+func (m *Monitor) Query(metric string, from, to int) []Sample {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.series[metric]
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Interval >= from })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].Interval > to })
+	if lo >= hi {
+		return nil
+	}
+	return append([]Sample(nil), s[lo:hi]...)
+}
+
+// Latest returns the most recent sample of a metric.
+func (m *Monitor) Latest(metric string) (Sample, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.series[metric]
+	if len(s) == 0 {
+		return Sample{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Metrics lists all recorded metric names, sorted.
+func (m *Monitor) Metrics() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.series))
+	for k := range m.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssociateIMSI records that a user (IMSI) belongs to a slice.
+func (m *Monitor) AssociateIMSI(imsi string, slice int) error {
+	if imsi == "" {
+		return fmt.Errorf("monitor: empty IMSI")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byIMSI[imsi] = slice
+	return nil
+}
+
+// AssociateIP records that a user IP belongs to a slice.
+func (m *Monitor) AssociateIP(ip string, slice int) error {
+	if ip == "" {
+		return fmt.Errorf("monitor: empty IP")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byIP[ip] = slice
+	return nil
+}
+
+// SliceOfIMSI resolves a user's slice by IMSI.
+func (m *Monitor) SliceOfIMSI(imsi string) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.byIMSI[imsi]
+	return s, ok
+}
+
+// SliceOfIP resolves a user's slice by IP.
+func (m *Monitor) SliceOfIP(ip string) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.byIP[ip]
+	return s, ok
+}
+
+// MeanOver returns the mean value of a metric over [from, to], or an error
+// if there are no samples in the window.
+func (m *Monitor) MeanOver(metric string, from, to int) (float64, error) {
+	samples := m.Query(metric, from, to)
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("monitor: no samples for %s in [%d, %d]", metric, from, to)
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.Value
+	}
+	return sum / float64(len(samples)), nil
+}

@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordQuery(t *testing.T) {
+	m := New()
+	metric := MetricName("perf", 0, 1)
+	if metric != "perf/ra0/slice1" {
+		t.Errorf("MetricName = %q", metric)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Record(metric, i, float64(-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Query(metric, 3, 6)
+	if len(got) != 4 {
+		t.Fatalf("Query returned %d samples, want 4", len(got))
+	}
+	if got[0].Interval != 3 || got[3].Interval != 6 {
+		t.Errorf("Query window wrong: %v", got)
+	}
+	if s := m.Query(metric, 100, 200); s != nil {
+		t.Errorf("out-of-window query should be nil, got %v", s)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	m := New()
+	if err := m.Record("", 0, 1); err == nil {
+		t.Error("empty metric should fail")
+	}
+	if err := m.Record("x", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("x", 3, 1); err == nil {
+		t.Error("out-of-order sample should fail")
+	}
+	if err := m.Record("x", 5, 2); err != nil {
+		t.Errorf("equal interval should be allowed: %v", err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	m := New()
+	if _, ok := m.Latest("nope"); ok {
+		t.Error("Latest on missing metric should be false")
+	}
+	_ = m.Record("q", 1, 10)
+	_ = m.Record("q", 2, 20)
+	s, ok := m.Latest("q")
+	if !ok || s.Value != 20 || s.Interval != 2 {
+		t.Errorf("Latest = %+v ok=%v", s, ok)
+	}
+}
+
+func TestAssociations(t *testing.T) {
+	m := New()
+	if err := m.AssociateIMSI("", 0); err == nil {
+		t.Error("empty IMSI should fail")
+	}
+	if err := m.AssociateIP("", 0); err == nil {
+		t.Error("empty IP should fail")
+	}
+	if err := m.AssociateIMSI("310150000000001", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AssociateIP("10.0.0.1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := m.SliceOfIMSI("310150000000001"); !ok || s != 1 {
+		t.Errorf("SliceOfIMSI = %d, %v", s, ok)
+	}
+	if s, ok := m.SliceOfIP("10.0.0.1"); !ok || s != 1 {
+		t.Errorf("SliceOfIP = %d, %v", s, ok)
+	}
+	if _, ok := m.SliceOfIMSI("nope"); ok {
+		t.Error("unknown IMSI should be false")
+	}
+}
+
+func TestMetricsSorted(t *testing.T) {
+	m := New()
+	_ = m.Record("b", 0, 1)
+	_ = m.Record("a", 0, 1)
+	got := m.Metrics()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Metrics = %v", got)
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	m := New()
+	_ = m.Record("q", 0, 10)
+	_ = m.Record("q", 1, 20)
+	_ = m.Record("q", 2, 60)
+	mean, err := m.MeanOver("q", 0, 1)
+	if err != nil || mean != 15 {
+		t.Errorf("MeanOver = %v (%v)", mean, err)
+	}
+	if _, err := m.MeanOver("q", 50, 60); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			metric := MetricName("perf", g, 0)
+			for i := 0; i < 200; i++ {
+				if err := m.Record(metric, i, float64(i)); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+				m.Query(metric, 0, i)
+				m.Latest(metric)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(m.Metrics()) != 8 {
+		t.Errorf("expected 8 metrics, got %d", len(m.Metrics()))
+	}
+}

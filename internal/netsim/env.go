@@ -1,0 +1,467 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgeslice/internal/mathutil"
+	"edgeslice/internal/rl"
+	"edgeslice/internal/traffic"
+)
+
+// Config parameterizes one resource autonomy's simulated environment.
+type Config struct {
+	NumSlices int
+	Apps      []AppProfile     // one application profile per slice
+	Sources   []traffic.Source // one traffic source per slice
+
+	// Capacity is R_tot per resource domain, in demand units per interval
+	// (a slice whose per-task demand is d and allocation fraction x serves
+	// x·Capacity/d tasks per interval through that domain).
+	Capacity [NumResources]float64
+
+	Perf             PerfMode
+	Alpha            float64 // exponent of U = −l^α (paper: 2)
+	ServiceTimeScale float64 // scale of the service-time metric (Fig. 11b)
+
+	Rho  float64 // ADMM proximal weight in the reward (paper: 1.0)
+	Beta float64 // capacity-violation penalty weight (paper: 20)
+	T    int     // intervals per period (paper: 10 experiment, 24 simulation)
+
+	// MinShare is the guaranteed minimum effective share every slice keeps
+	// in every domain (control-plane floor): real slicing systems never
+	// starve a slice to exactly zero resources — the radio manager still
+	// schedules control channels and the transport manager keeps flows
+	// installed. It also keeps the service-rate gradient alive at the
+	// action-space corners.
+	MinShare float64
+
+	// ObserveQueue selects the EdgeSlice state space (queue + coordination,
+	// Eq. 13) when true, or the EdgeSlice-NT state space (coordination
+	// only, Sec. VII-B) when false.
+	ObserveQueue bool
+
+	QueueNorm   float64 // state normalization for queue lengths
+	CoordNorm   float64 // state normalization for coordinating information
+	CoordSpan   float64 // training: z targets drawn uniformly from [−CoordSpan, 0]
+	PerfNorm    float64 // performance normalization inside the reward's proximal term
+	RewardScale float64 // global reward scaling for numerical stability
+	RewardClip  float64 // post-scaling |reward| bound (overload protection)
+	MaxQueue    int     // hard cap on queue length (overload guard)
+
+	EpisodePeriods int // training episode length in periods
+
+	// TrainCoordRandom redraws the coordinating information at every period
+	// boundary, the offline training regime of Sec. VI-A ("we randomly
+	// generate z_ij − y_ij ... to train the agents under different
+	// coordinating information").
+	TrainCoordRandom bool
+
+	Seed int64
+}
+
+// DefaultExperimentConfig reproduces the prototype experiment setting of
+// Sec. VII-C: 2 slices (traffic-heavy and compute-heavy video analytics),
+// Poisson(10) arrivals, U = −l², ρ = 1, β = 20, T = 10 intervals.
+func DefaultExperimentConfig() Config {
+	return Config{
+		NumSlices: 2,
+		Apps:      []AppProfile{HeavyTrafficApp, HeavyComputeApp},
+		Sources: []traffic.Source{
+			traffic.VariableSource{Lo: 6, Hi: 14, BlockLen: 10, Seed: 11},
+			traffic.VariableSource{Lo: 6, Hi: 14, BlockLen: 10, Seed: 23},
+		},
+		Capacity:         [NumResources]float64{16, 16, 64},
+		Perf:             PerfQueue,
+		Alpha:            2,
+		ServiceTimeScale: 10,
+		Rho:              1.0,
+		Beta:             5,
+		MinShare:         0.04,
+		T:                10,
+		ObserveQueue:     true,
+		QueueNorm:        25,
+		CoordNorm:        500,
+		CoordSpan:        500,
+		PerfNorm:         100,
+		RewardScale:      1.0 / 10,
+		RewardClip:       100,
+		MaxQueue:         40,
+		EpisodePeriods:   2,
+		TrainCoordRandom: true,
+		Seed:             1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSlices <= 0 {
+		return fmt.Errorf("netsim: NumSlices %d must be positive", c.NumSlices)
+	}
+	if len(c.Apps) != c.NumSlices || len(c.Sources) != c.NumSlices {
+		return fmt.Errorf("netsim: need %d apps and sources, got %d and %d",
+			c.NumSlices, len(c.Apps), len(c.Sources))
+	}
+	for i, a := range c.Apps {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("netsim: app %d: %w", i, err)
+		}
+	}
+	for k, cap := range c.Capacity {
+		if cap <= 0 {
+			return fmt.Errorf("netsim: capacity[%s] = %v must be positive", ResourceNames[k], cap)
+		}
+	}
+	if c.T <= 0 {
+		return fmt.Errorf("netsim: T %d must be positive", c.T)
+	}
+	if c.Perf != PerfQueue && c.Perf != PerfServiceTime {
+		return fmt.Errorf("netsim: invalid perf mode %v", c.Perf)
+	}
+	if c.QueueNorm <= 0 || c.CoordNorm <= 0 || c.RewardScale <= 0 || c.RewardClip <= 0 || c.PerfNorm <= 0 {
+		return fmt.Errorf("netsim: normalization constants must be positive")
+	}
+	if c.MaxQueue <= 0 || c.EpisodePeriods <= 0 {
+		return fmt.Errorf("netsim: MaxQueue and EpisodePeriods must be positive")
+	}
+	if c.MinShare < 0 || float64(c.NumSlices)*c.MinShare >= 1 {
+		return fmt.Errorf("netsim: MinShare %v infeasible for %d slices", c.MinShare, c.NumSlices)
+	}
+	return nil
+}
+
+// StepResult reports the detailed outcome of one simulated interval.
+type StepResult struct {
+	Perf         []float64               // U_i^(t) per slice
+	ServiceTimes []float64               // per-task end-to-end service time per slice
+	QueueLens    []int                   // post-interval queue lengths
+	Served       []int                   // tasks served this interval
+	Arrived      []int                   // tasks arrived this interval
+	Effective    [][NumResources]float64 // capacity-feasible allocation actually applied
+	Violation    float64                 // Σ_k [Σ_i x_ik − 1]⁺ of the raw action
+	Reward       float64                 // shaped reward (Eq. 15)
+}
+
+// RAEnv simulates one resource autonomy: |I| slice queues served by three
+// resource domains. It implements rl.Env for agent training and exposes an
+// orchestration-mode API (SetCoordination / StepInterval) for Algorithm 1.
+type RAEnv struct {
+	cfg     Config
+	rng     *rand.Rand
+	perfFn  PerfFunc
+	demands [][NumResources]float64
+
+	queues []SliceQueue
+	z, y   []float64 // coordination per slice (this RA's column)
+
+	// dataset, when set, replaces the analytic service model with the
+	// grid-search + local-linear-regression predictions of Sec. VI-B
+	// (the offline training pipeline of Fig. 5).
+	dataset *Dataset
+
+	interval   int // global interval counter
+	periodStep int // interval within the current period
+	epStep     int // interval within the current episode
+
+	periodPerf []float64 // Σ_t U_i over the current period
+}
+
+var _ rl.Env = (*RAEnv)(nil)
+
+// New creates a simulated RA environment.
+func New(cfg Config) (*RAEnv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &RAEnv{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // simulation
+		queues:     make([]SliceQueue, cfg.NumSlices),
+		z:          make([]float64, cfg.NumSlices),
+		y:          make([]float64, cfg.NumSlices),
+		periodPerf: make([]float64, cfg.NumSlices),
+		demands:    make([][NumResources]float64, cfg.NumSlices),
+	}
+	for i, a := range cfg.Apps {
+		e.demands[i] = a.Demand()
+	}
+	switch cfg.Perf {
+	case PerfQueue:
+		e.perfFn = QueuePerf(cfg.Alpha)
+	case PerfServiceTime:
+		e.perfFn = ServiceTimePerf(cfg.ServiceTimeScale)
+	}
+	return e, nil
+}
+
+// Config returns the environment configuration.
+func (e *RAEnv) Config() Config { return e.cfg }
+
+// StateDim implements rl.Env (Eq. 13: queue state + coordinating info, or
+// coordination only for the NT variant).
+func (e *RAEnv) StateDim() int {
+	if e.cfg.ObserveQueue {
+		return 2 * e.cfg.NumSlices
+	}
+	return e.cfg.NumSlices
+}
+
+// ActionDim implements rl.Env (Eq. 14: one allocation fraction per slice
+// per resource domain).
+func (e *RAEnv) ActionDim() int { return e.cfg.NumSlices * NumResources }
+
+// Reset implements rl.Env: clears queues, redraws coordination targets in
+// training mode, and returns the initial state.
+func (e *RAEnv) Reset() []float64 {
+	for i := range e.queues {
+		e.queues[i].Reset()
+		e.periodPerf[i] = 0
+	}
+	e.periodStep = 0
+	e.epStep = 0
+	if e.cfg.TrainCoordRandom {
+		e.randomizeCoordination()
+	}
+	return e.State()
+}
+
+// randomizeCoordination draws fresh per-slice coordination targets
+// (Sec. VI-A: "we randomly generate z_ij − y_ij ... to train the agents
+// under different coordinating information"). z is a per-period cumulative
+// performance target in [−CoordSpan, 0]; y is drawn in
+// [−CoordSpan/2, CoordSpan/2] so the observed z−y covers both the negative
+// range (slack SLA) and the positive range produced by dual ascent when a
+// slice is under-performing at deployment.
+func (e *RAEnv) randomizeCoordination() {
+	for i := range e.z {
+		e.z[i] = -e.rng.Float64() * e.cfg.CoordSpan
+		e.y[i] = (e.rng.Float64() - 0.5) * e.cfg.CoordSpan
+	}
+}
+
+// SetCoordination installs the coordinator-provided (z, y) column for this
+// RA (orchestration mode; Alg. 1 feeds back Z and Y each period).
+func (e *RAEnv) SetCoordination(z, y []float64) error {
+	if len(z) != e.cfg.NumSlices || len(y) != e.cfg.NumSlices {
+		return fmt.Errorf("netsim: coordination length %d/%d, want %d", len(z), len(y), e.cfg.NumSlices)
+	}
+	copy(e.z, z)
+	copy(e.y, y)
+	return nil
+}
+
+// State returns the current observation (Eq. 13).
+func (e *RAEnv) State() []float64 {
+	out := make([]float64, 0, e.StateDim())
+	if e.cfg.ObserveQueue {
+		for i := range e.queues {
+			out = append(out, float64(e.queues[i].Len())/e.cfg.QueueNorm)
+		}
+	}
+	for i := range e.z {
+		// Clamp the observed coordinating information to the support of
+		// the training distribution (z ∈ [−S, 0], y ∈ [−S/2, S/2] ⇒
+		// z−y ∈ [−1.5S, 0.5S]): runaway dual variables at deployment must
+		// not push the policy into out-of-distribution states.
+		zy := mathutil.Clamp(e.z[i]-e.y[i], -1.5*e.cfg.CoordSpan, 0.5*e.cfg.CoordSpan)
+		out = append(out, zy/e.cfg.CoordNorm)
+	}
+	return out
+}
+
+// Step implements rl.Env.
+func (e *RAEnv) Step(action []float64) ([]float64, float64, bool) {
+	res, err := e.StepInterval(action)
+	if err != nil {
+		// The rl.Env interface has no error path; a malformed action is a
+		// programming error, matching the panic policy of the nn package.
+		panic(fmt.Sprintf("netsim: %v", err))
+	}
+	e.epStep++
+	done := e.epStep >= e.cfg.EpisodePeriods*e.cfg.T
+	return e.State(), res.Reward, done
+}
+
+// StepInterval advances one time interval t: arrivals are drawn from the
+// traffic sources, the action's resource shares determine each slice's
+// end-to-end service rate (bottleneck across the three domains), queues
+// drain, the performance function is evaluated, and the shaped reward of
+// Eq. 15 is computed.
+func (e *RAEnv) StepInterval(action []float64) (StepResult, error) {
+	if len(action) != e.ActionDim() {
+		return StepResult{}, fmt.Errorf("netsim: action length %d, want %d", len(action), e.ActionDim())
+	}
+	for _, a := range action {
+		if math.IsNaN(a) {
+			return StepResult{}, fmt.Errorf("netsim: NaN action")
+		}
+	}
+	I := e.cfg.NumSlices
+
+	// Raw per-slice shares and the capacity violation of constraint (3).
+	raw := make([][NumResources]float64, I)
+	var violation float64
+	for k := 0; k < NumResources; k++ {
+		var sum float64
+		for i := 0; i < I; i++ {
+			x := mathutil.Clamp(action[i*NumResources+k], 0, 1)
+			raw[i][k] = x
+			sum += x
+		}
+		violation += mathutil.PosPart(sum - 1)
+	}
+
+	// Effective allocation: the resource managers cannot hand out more
+	// than exists, so shares are scaled down proportionally per domain;
+	// every slice then keeps its MinShare floor with the remaining
+	// capacity split according to the (scaled) requests.
+	eff := make([][NumResources]float64, I)
+	floorTotal := float64(I) * e.cfg.MinShare
+	for k := 0; k < NumResources; k++ {
+		var sum float64
+		for i := 0; i < I; i++ {
+			sum += raw[i][k]
+		}
+		scale := 1.0
+		if sum > 1 {
+			scale = 1 / sum
+		}
+		for i := 0; i < I; i++ {
+			eff[i][k] = e.cfg.MinShare + (1-floorTotal)*raw[i][k]*scale
+		}
+	}
+
+	res := StepResult{
+		Perf:         make([]float64, I),
+		ServiceTimes: make([]float64, I),
+		QueueLens:    make([]int, I),
+		Served:       make([]int, I),
+		Arrived:      make([]int, I),
+		Effective:    eff,
+		Violation:    violation,
+	}
+
+	const maxServiceTime = 1e3
+	for i := 0; i < I; i++ {
+		// Arrivals for this interval.
+		lambda := e.cfg.Sources[i].Rate(e.interval)
+		n := mathutil.Poisson(e.rng, lambda)
+		if over := e.queues[i].Len() + n - e.cfg.MaxQueue; over > 0 {
+			n -= over // overload guard: excess tasks are dropped at ingress
+		}
+		e.queues[i].Arrive(n, e.interval)
+		res.Arrived[i] = n
+
+		rate, err := e.serviceRate(i, eff[i])
+		if err != nil {
+			return StepResult{}, err
+		}
+		res.Served[i] = e.queues[i].Serve(rate, e.interval)
+		res.QueueLens[i] = e.queues[i].Len()
+		if rate > 1/maxServiceTime {
+			res.ServiceTimes[i] = 1 / rate
+		} else {
+			res.ServiceTimes[i] = maxServiceTime
+		}
+
+		res.Perf[i] = e.perfFn(float64(res.QueueLens[i]), res.ServiceTimes[i])
+		e.periodPerf[i] += res.Perf[i]
+	}
+
+	// Reward shaping (Eq. 15): per-interval ADMM objective with the
+	// proximal pull toward (z+y)/T, minus the re-weighted capacity penalty.
+	// Performance enters normalized by PerfNorm so the quadratic term stays
+	// within a trainable range (the paper reports "extensive and empirical
+	// tunings on the hyper-parameters"; this is ours).
+	var reward float64
+	for i := 0; i < I; i++ {
+		u := res.Perf[i] / e.cfg.PerfNorm
+		target := (e.z[i] + e.y[i]) / (float64(e.cfg.T) * e.cfg.PerfNorm)
+		diff := u - target
+		reward += u - e.cfg.Rho/2*diff*diff
+	}
+	reward -= e.cfg.Beta * violation
+	reward *= e.cfg.RewardScale
+	// Deep-overload rewards are clipped: the quadratic proximal term grows
+	// as l^4 under the queue metric, which would destabilize Q targets.
+	reward = mathutil.Clamp(reward, -e.cfg.RewardClip, e.cfg.RewardClip)
+	res.Reward = reward
+
+	e.interval++
+	e.periodStep++
+	if e.periodStep >= e.cfg.T {
+		e.periodStep = 0
+		if e.cfg.TrainCoordRandom {
+			e.randomizeCoordination()
+		}
+	}
+	return res, nil
+}
+
+// serviceRate computes slice i's end-to-end task service rate for an
+// effective allocation: the bottleneck (minimum) across the three domains,
+// either from the analytic model or — in offline mode — from the fitted
+// dataset model of Sec. VI-B.
+func (e *RAEnv) serviceRate(i int, eff [NumResources]float64) (float64, error) {
+	if e.dataset != nil {
+		st, err := e.dataset.PredictServiceTime(i, eff)
+		if err != nil {
+			return 0, fmt.Errorf("netsim: dataset prediction: %w", err)
+		}
+		if st <= 0 {
+			return 0, nil
+		}
+		return 1 / st, nil
+	}
+	rate := math.Inf(1)
+	for k := 0; k < NumResources; k++ {
+		d := e.demands[i][k]
+		if d <= 0 {
+			continue
+		}
+		r := eff[k] * e.cfg.Capacity[k] / d
+		if r < rate {
+			rate = r
+		}
+	}
+	if math.IsInf(rate, 1) {
+		rate = 0
+	}
+	return rate, nil
+}
+
+// UseDataset switches the environment to the offline service model: rates
+// come from the grid-search dataset's local linear-regression predictions
+// instead of the analytic formula (the paper's Fig. 5 training pipeline).
+// Pass nil to restore the analytic model.
+func (e *RAEnv) UseDataset(ds *Dataset) { e.dataset = ds }
+
+// PeriodPerf returns Σ_t U_i accumulated in the current period and resets
+// the accumulator; Algorithm 1 calls this at period boundaries to report
+// slice performance to the coordinator.
+func (e *RAEnv) PeriodPerf() []float64 {
+	out := append([]float64(nil), e.periodPerf...)
+	for i := range e.periodPerf {
+		e.periodPerf[i] = 0
+	}
+	return out
+}
+
+// QueueLens returns current queue lengths (the monitor's view).
+func (e *RAEnv) QueueLens() []int {
+	out := make([]int, len(e.queues))
+	for i := range e.queues {
+		out[i] = e.queues[i].Len()
+	}
+	return out
+}
+
+// Queue exposes a slice's queue for inspection in tests and the monitor.
+func (e *RAEnv) Queue(i int) *SliceQueue { return &e.queues[i] }
+
+// Interval returns the global interval counter.
+func (e *RAEnv) Interval() int { return e.interval }
+
+// Demand returns the per-task demand vector of slice i.
+func (e *RAEnv) Demand(i int) [NumResources]float64 { return e.demands[i] }

@@ -1,0 +1,447 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgeslice/internal/traffic"
+)
+
+func TestAppProfileDemand(t *testing.T) {
+	d1 := HeavyTrafficApp.Demand()
+	d2 := HeavyComputeApp.Demand()
+	if d1[ResRadio] != 1 || d1[ResTransport] != 1 || d1[ResCompute] != 1 {
+		t.Errorf("slice-1 demand = %v, want [1 1 1]", d1)
+	}
+	// Slice 2: much lighter traffic, much heavier compute.
+	if d2[ResRadio] >= d1[ResRadio]/10 {
+		t.Errorf("slice-2 radio demand %v should be far below slice 1", d2[ResRadio])
+	}
+	if d2[ResCompute] <= 2*d1[ResCompute] {
+		t.Errorf("slice-2 compute demand %v should far exceed slice 1", d2[ResCompute])
+	}
+}
+
+func TestAppProfileValidate(t *testing.T) {
+	if err := (AppProfile{FrameResolution: 0, ModelSize: 320}).Validate(); err == nil {
+		t.Error("zero resolution should fail")
+	}
+	if err := (AppProfile{FrameResolution: 100, ModelSize: -1}).Validate(); err == nil {
+		t.Error("negative model should fail")
+	}
+}
+
+func TestQueueFIFOAndSojourn(t *testing.T) {
+	var q SliceQueue
+	q.Arrive(3, 0)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	served := q.Serve(2, 1)
+	if served != 2 || q.Len() != 1 {
+		t.Fatalf("served=%d len=%d", served, q.Len())
+	}
+	// Both served tasks waited 1 interval.
+	if q.MeanSojourn() != 1 {
+		t.Errorf("MeanSojourn = %v, want 1", q.MeanSojourn())
+	}
+	q.Reset()
+	if q.Len() != 0 || q.TotalArrived() != 0 || q.TotalServed() != 0 {
+		t.Error("Reset should clear everything")
+	}
+}
+
+func TestQueueFractionalCarry(t *testing.T) {
+	var q SliceQueue
+	q.Arrive(1, 0)
+	if q.Serve(0.5, 1) != 0 {
+		t.Error("0.5 credit should not serve yet")
+	}
+	if q.Serve(0.5, 2) != 1 {
+		t.Error("accumulated credit 1.0 should serve one task")
+	}
+}
+
+func TestQueueIdleCreditCapped(t *testing.T) {
+	var q SliceQueue
+	// Bank lots of credit while idle...
+	for i := 0; i < 100; i++ {
+		q.Serve(5, i)
+	}
+	q.Arrive(50, 100)
+	// ...then confirm a tiny rate cannot flush the whole queue at once.
+	served := q.Serve(1, 101)
+	if served > 6 {
+		t.Errorf("idle credit not capped: served %d in one interval at rate 1", served)
+	}
+}
+
+// Conservation: arrivals − served == backlog, under arbitrary interleaving.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q SliceQueue
+		now := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				q.Arrive(int(op%7), now)
+			} else {
+				q.Serve(float64(op%5), now)
+			}
+			now++
+		}
+		return q.TotalArrived()-q.TotalServed() == q.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q SliceQueue
+	for i := 0; i < 3000; i++ {
+		q.Arrive(1, i)
+		q.Serve(1, i)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty, len %d", q.Len())
+	}
+	if q.TotalServed() != 3000 {
+		t.Fatalf("served %d, want 3000", q.TotalServed())
+	}
+}
+
+func TestPerfFuncs(t *testing.T) {
+	qp := QueuePerf(2)
+	if qp(5, 99) != -25 {
+		t.Errorf("QueuePerf(2)(5) = %v, want -25", qp(5, 99))
+	}
+	if qp(0, 99) != 0 {
+		t.Errorf("QueuePerf at zero queue = %v, want 0", qp(0, 99))
+	}
+	st := ServiceTimePerf(10)
+	if st(123, 0.5) != -5 {
+		t.Errorf("ServiceTimePerf = %v, want -5", st(123, 0.5))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultExperimentConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSlices = 0 },
+		func(c *Config) { c.Apps = c.Apps[:1] },
+		func(c *Config) { c.Sources = c.Sources[:1] },
+		func(c *Config) { c.Capacity[0] = 0 },
+		func(c *Config) { c.T = 0 },
+		func(c *Config) { c.Perf = 0 },
+		func(c *Config) { c.QueueNorm = 0 },
+		func(c *Config) { c.MaxQueue = 0 },
+		func(c *Config) { c.Apps = []AppProfile{{}, {}} },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultExperimentConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestEnvDimensions(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StateDim() != 4 { // 2 queues + 2 coordination
+		t.Errorf("StateDim = %d, want 4", e.StateDim())
+	}
+	if e.ActionDim() != 6 { // 2 slices x 3 resources
+		t.Errorf("ActionDim = %d, want 6", e.ActionDim())
+	}
+	cfg.ObserveQueue = false
+	e2, _ := New(cfg)
+	if e2.StateDim() != 2 {
+		t.Errorf("NT StateDim = %d, want 2", e2.StateDim())
+	}
+}
+
+func TestStepIntervalValidation(t *testing.T) {
+	e, _ := New(DefaultExperimentConfig())
+	if _, err := e.StepInterval([]float64{0.1}); err == nil {
+		t.Error("wrong action length should fail")
+	}
+	bad := make([]float64, e.ActionDim())
+	bad[0] = math.NaN()
+	if _, err := e.StepInterval(bad); err == nil {
+		t.Error("NaN action should fail")
+	}
+}
+
+func TestCapacityEnforcement(t *testing.T) {
+	e, _ := New(DefaultExperimentConfig())
+	e.Reset()
+	// Everyone asks for everything: effective shares must sum to <= 1 per
+	// domain and a violation must be reported.
+	action := make([]float64, e.ActionDim())
+	for i := range action {
+		action[i] = 1
+	}
+	res, err := e.StepInterval(action)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation <= 0 {
+		t.Error("over-allocation should report a violation")
+	}
+	for k := 0; k < NumResources; k++ {
+		var sum float64
+		for i := range res.Effective {
+			sum += res.Effective[i][k]
+		}
+		if sum > 1+1e-9 {
+			t.Errorf("effective %s shares sum to %v > 1", ResourceNames[k], sum)
+		}
+	}
+}
+
+func TestZeroAllocationKeepsMinShareFloor(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	e, _ := New(cfg)
+	e.Reset()
+	zero := make([]float64, e.ActionDim())
+	res, err := e.StepInterval(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every slice keeps the control-plane floor in every domain.
+	for i := range res.Effective {
+		for k := 0; k < NumResources; k++ {
+			if res.Effective[i][k] < cfg.MinShare-1e-12 {
+				t.Errorf("slice %d %s share %v below floor %v",
+					i, ResourceNames[k], res.Effective[i][k], cfg.MinShare)
+			}
+		}
+	}
+}
+
+func TestZeroAllocationStarvesWithoutFloor(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.MinShare = 0
+	e, _ := New(cfg)
+	e.Reset()
+	zero := make([]float64, e.ActionDim())
+	var lastLen int
+	for t := 0; t < 10; t++ {
+		res, err := e.StepInterval(zero)
+		if err != nil {
+			panic(err)
+		}
+		lastLen = res.QueueLens[0]
+		if res.Served[0] != 0 {
+			panic("zero allocation should serve nothing")
+		}
+	}
+	if lastLen == 0 {
+		t.Error("queue should build up under starvation")
+	}
+}
+
+func TestAdequateAllocationDrains(t *testing.T) {
+	e, _ := New(DefaultExperimentConfig())
+	e.Reset()
+	// Generous, feasible split: slice 1 gets most radio/transport, slice 2
+	// most compute.
+	action := []float64{
+		0.85, 0.85, 0.30, // slice 1: radio, transport, compute
+		0.15, 0.15, 0.70, // slice 2
+	}
+	var totalPerf float64
+	for t := 0; t < 50; t++ {
+		res, err := e.StepInterval(action)
+		if err != nil {
+			panic(err)
+		}
+		totalPerf += res.Perf[0] + res.Perf[1]
+	}
+	lens := e.QueueLens()
+	if lens[0] > 30 || lens[1] > 30 {
+		t.Errorf("queues should stay bounded under adequate allocation: %v", lens)
+	}
+	if totalPerf > 0 {
+		t.Errorf("queue-metric performance can never be positive, got %v", totalPerf)
+	}
+	// A generous allocation should achieve near-optimal performance.
+	if totalPerf < -500 {
+		t.Errorf("adequate allocation performed poorly: %v", totalPerf)
+	}
+}
+
+func TestRewardPenalizesViolation(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	e, _ := New(cfg)
+	e.Reset()
+	feasible := []float64{0.5, 0.5, 0.3, 0.2, 0.2, 0.6}
+	over := []float64{1, 1, 1, 1, 1, 1}
+
+	// Same seed twice for a fair comparison.
+	e1, _ := New(cfg)
+	e1.Reset()
+	r1, err := e1.StepInterval(feasible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := New(cfg)
+	e2.Reset()
+	r2, err := e2.StepInterval(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Violation <= r1.Violation {
+		t.Fatalf("violations: feasible %v, over %v", r1.Violation, r2.Violation)
+	}
+}
+
+func TestPeriodPerfAccumulatesAndResets(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	e, _ := New(cfg)
+	e.Reset()
+	action := []float64{0.8, 0.8, 0.3, 0.1, 0.1, 0.6}
+	var manual [2]float64
+	for t := 0; t < cfg.T; t++ {
+		res, err := e.StepInterval(action)
+		if err != nil {
+			panic(err)
+		}
+		manual[0] += res.Perf[0]
+		manual[1] += res.Perf[1]
+	}
+	got := e.PeriodPerf()
+	for i := range got {
+		if math.Abs(got[i]-manual[i]) > 1e-9 {
+			t.Errorf("period perf[%d] = %v, want %v", i, got[i], manual[i])
+		}
+	}
+	again := e.PeriodPerf()
+	for i := range again {
+		if again[i] != 0 {
+			t.Error("PeriodPerf should reset the accumulator")
+		}
+	}
+}
+
+func TestSetCoordinationAffectsState(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	e, _ := New(cfg)
+	e.Reset()
+	if err := e.SetCoordination([]float64{-100, -200}, []float64{10, -10}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.State()
+	// Coordination part of the state is (z - y)/CoordNorm.
+	wantA := (-100.0 - 10.0) / cfg.CoordNorm
+	wantB := (-200.0 + 10.0) / cfg.CoordNorm
+	if math.Abs(s[2]-wantA) > 1e-12 || math.Abs(s[3]-wantB) > 1e-12 {
+		t.Errorf("coordination state = %v, want [%v %v]", s[2:], wantA, wantB)
+	}
+	if err := e.SetCoordination([]float64{1}, []float64{1}); err == nil {
+		t.Error("wrong coordination length should fail")
+	}
+}
+
+func TestTrainingCoordinationRandomizes(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	e, _ := New(cfg)
+	s1 := e.Reset()
+	coord1 := append([]float64(nil), s1[2:]...)
+	// Step through one full period to trigger re-randomization.
+	action := make([]float64, e.ActionDim())
+	for t := 0; t < cfg.T; t++ {
+		if _, err := e.StepInterval(action); err != nil {
+			panic(err)
+		}
+	}
+	coord2 := e.State()[2:]
+	same := true
+	for i := range coord1 {
+		if coord1[i] != coord2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("training mode should redraw coordination each period")
+	}
+}
+
+func TestServiceTimePerfMode(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Perf = PerfServiceTime
+	cfg.TrainCoordRandom = false
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	fast := []float64{0.9, 0.9, 0.9, 0.05, 0.05, 0.05}
+	res, err := e.StepInterval(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice 1 has 0.9 shares everywhere: service time must beat slice 2's.
+	if res.ServiceTimes[0] >= res.ServiceTimes[1] {
+		t.Errorf("service times %v: slice 1 should be faster", res.ServiceTimes)
+	}
+	if res.Perf[0] >= 0 || res.Perf[0] <= res.Perf[1] {
+		t.Errorf("perf %v: slice 1 should be better (less negative)", res.Perf)
+	}
+}
+
+func TestRLEnvEpisodeTermination(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.EpisodePeriods = 2
+	e, _ := New(cfg)
+	e.Reset()
+	action := make([]float64, e.ActionDim())
+	steps := 0
+	for {
+		_, _, done := e.Step(action)
+		steps++
+		if done {
+			break
+		}
+		if steps > 1000 {
+			t.Fatal("episode never terminated")
+		}
+	}
+	if steps != cfg.EpisodePeriods*cfg.T {
+		t.Errorf("episode length %d, want %d", steps, cfg.EpisodePeriods*cfg.T)
+	}
+}
+
+func TestMaxQueueGuard(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.MaxQueue = 20
+	cfg.Sources = []traffic.Source{
+		traffic.ConstantSource{Lambda: 100},
+		traffic.ConstantSource{Lambda: 100},
+	}
+	e, _ := New(cfg)
+	e.Reset()
+	zero := make([]float64, e.ActionDim())
+	for t := 0; t < 10; t++ {
+		if _, err := e.StepInterval(zero); err != nil {
+			panic(err)
+		}
+	}
+	for i, l := range e.QueueLens() {
+		if l > 20 {
+			t.Errorf("queue %d length %d exceeds MaxQueue", i, l)
+		}
+	}
+}

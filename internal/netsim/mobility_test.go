@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgeslice/internal/traffic"
+)
+
+func TestMobilityValidation(t *testing.T) {
+	if _, err := NewMobilityModel(1, 0, 2, 4, 0.1); err == nil {
+		t.Error("zero slices should fail")
+	}
+	if _, err := NewMobilityModel(1, 2, 2, 4, -0.1); err == nil {
+		t.Error("negative move prob should fail")
+	}
+	if _, err := NewMobilityModel(1, 2, 2, 4, 1.5); err == nil {
+		t.Error("move prob > 1 should fail")
+	}
+	m, err := NewMobilityModel(1, 2, 2, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UsersAt(5, 0, 0); err == nil {
+		t.Error("out-of-range slice should fail")
+	}
+	if _, err := m.UsersAt(0, 5, 0); err == nil {
+		t.Error("out-of-range RA should fail")
+	}
+	if _, err := m.UsersAt(0, 0, -1); err == nil {
+		t.Error("negative interval should fail")
+	}
+}
+
+// Conservation: at any interval, a slice's users are distributed across
+// RAs without loss or duplication.
+func TestMobilityConservationProperty(t *testing.T) {
+	f := func(seed int64, intervalRaw uint8) bool {
+		const (
+			slices = 3
+			ras    = 4
+			users  = 8
+		)
+		m, err := NewMobilityModel(seed, slices, ras, users, 0.3)
+		if err != nil {
+			return false
+		}
+		interval := int(intervalRaw) % 64
+		for i := 0; i < slices; i++ {
+			total := 0
+			for j := 0; j < ras; j++ {
+				n, err := m.UsersAt(i, j, interval)
+				if err != nil || n < 0 {
+					return false
+				}
+				total += n
+			}
+			if total != users {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Queries must be pure: asking about the same interval twice (including
+// out of order) gives the same answer.
+func TestMobilityDeterministicQueries(t *testing.T) {
+	m, err := NewMobilityModel(7, 2, 3, 6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := m.UsersAt(0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := m.UsersAt(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAgain, _ := m.UsersAt(0, 1, 50)
+	earlyAgain, _ := m.UsersAt(0, 1, 10)
+	if late != lateAgain || early != earlyAgain {
+		t.Error("mobility queries are not pure")
+	}
+}
+
+func TestMobilityActuallyMoves(t *testing.T) {
+	m, err := NewMobilityModel(11, 1, 4, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With move prob 0.5, the distribution at t=40 should differ from t=0
+	// in at least one RA.
+	changed := false
+	for j := 0; j < 4; j++ {
+		a, _ := m.UsersAt(0, j, 0)
+		b, _ := m.UsersAt(0, j, 40)
+		if a != b {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("users never moved")
+	}
+}
+
+func TestMobilityFrozenWhenProbZero(t *testing.T) {
+	m, err := NewMobilityModel(3, 1, 3, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		a, _ := m.UsersAt(0, j, 0)
+		b, _ := m.UsersAt(0, j, 30)
+		if a != b {
+			t.Errorf("RA %d population changed with move prob 0", j)
+		}
+	}
+}
+
+// Load factors across RAs average to 1, so mobility redistributes traffic
+// without changing the network-wide total.
+func TestMobileSourceConservesTotalRate(t *testing.T) {
+	const ras = 4
+	m, err := NewMobilityModel(13, 1, ras, 8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := traffic.ConstantSource{Lambda: 10}
+	for _, interval := range []int{0, 7, 23, 60} {
+		var total float64
+		for j := 0; j < ras; j++ {
+			src := MobileSource{Base: base, Model: m, Slice: 0, RA: j}
+			total += src.Rate(interval)
+		}
+		if math.Abs(total-10*ras) > 1e-9 {
+			t.Errorf("interval %d: total rate %v, want %v", interval, total, 10.0*ras)
+		}
+	}
+	// Negative intervals clamp rather than error.
+	src := MobileSource{Base: base, Model: m, Slice: 0, RA: 0}
+	if src.Rate(-5) != src.Rate(0) {
+		t.Error("negative interval should clamp to 0")
+	}
+}
+
+// A mobility-modulated environment runs end to end.
+func TestMobileSourceDrivesEnv(t *testing.T) {
+	m, err := NewMobilityModel(17, 2, 2, 6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	cfg.Sources = []traffic.Source{
+		MobileSource{Base: traffic.ConstantSource{Lambda: 10}, Model: m, Slice: 0, RA: 0},
+		MobileSource{Base: traffic.ConstantSource{Lambda: 10}, Model: m, Slice: 1, RA: 0},
+	}
+	env, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	action := []float64{0.8, 0.8, 0.3, 0.05, 0.05, 0.6}
+	var arrived int
+	for i := 0; i < 40; i++ {
+		res, err := env.StepInterval(action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrived += res.Arrived[0] + res.Arrived[1]
+	}
+	if arrived == 0 {
+		t.Error("mobility-driven env produced no traffic")
+	}
+}

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PerfMode selects the slice performance function U (Sec. VII evaluates
+// several; "neither the performance coordinator or orchestration agent know
+// the closed-form expression").
+type PerfMode int
+
+const (
+	// PerfQueue is U = −l^α, the default experimental metric with α = 2
+	// (Sec. VII, also swept over α in Fig. 11a).
+	PerfQueue PerfMode = iota + 1
+	// PerfServiceTime is U = −(mean service time), the alternative metric
+	// of Fig. 11b that deliberately ignores the queue state.
+	PerfServiceTime
+)
+
+// String returns a display name.
+func (m PerfMode) String() string {
+	switch m {
+	case PerfQueue:
+		return "queue"
+	case PerfServiceTime:
+		return "service-time"
+	default:
+		return fmt.Sprintf("perfmode(%d)", int(m))
+	}
+}
+
+// PerfFunc computes a slice's performance for one interval from its queue
+// length and the per-task end-to-end service time implied by the current
+// allocation.
+type PerfFunc func(queueLen float64, serviceTime float64) float64
+
+// QueuePerf returns U = −l^α.
+func QueuePerf(alpha float64) PerfFunc {
+	return func(l, _ float64) float64 {
+		if l <= 0 {
+			return 0
+		}
+		return -math.Pow(l, alpha)
+	}
+}
+
+// ServiceTimePerf returns U = −scale·serviceTime, independent of queue
+// state (Fig. 11b: "the negative service time of slice users without
+// considering traffic in slice queue").
+func ServiceTimePerf(scale float64) PerfFunc {
+	return func(_, st float64) float64 {
+		return -scale * st
+	}
+}

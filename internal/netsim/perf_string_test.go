@@ -1,0 +1,23 @@
+package netsim
+
+import "testing"
+
+func TestPerfModeString(t *testing.T) {
+	if PerfQueue.String() != "queue" {
+		t.Errorf("PerfQueue = %q", PerfQueue.String())
+	}
+	if PerfServiceTime.String() != "service-time" {
+		t.Errorf("PerfServiceTime = %q", PerfServiceTime.String())
+	}
+	if PerfMode(99).String() == "" {
+		t.Error("unknown perf mode should still stringify")
+	}
+}
+
+func TestResourceNames(t *testing.T) {
+	if ResourceNames[ResRadio] != "radio" ||
+		ResourceNames[ResTransport] != "transport" ||
+		ResourceNames[ResCompute] != "computing" {
+		t.Errorf("ResourceNames = %v", ResourceNames)
+	}
+}

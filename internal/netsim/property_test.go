@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any action vector, the effective allocation respects the
+// MinShare floor and per-domain shares sum to at most 1.
+func TestEffectiveAllocationProperty(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	f := func(raw [6]float64) bool {
+		e, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		e.Reset()
+		action := make([]float64, 6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0.5
+			}
+			action[i] = math.Mod(math.Abs(v), 1.0)
+		}
+		res, err := e.StepInterval(action)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < NumResources; k++ {
+			var sum float64
+			for i := range res.Effective {
+				if res.Effective[i][k] < cfg.MinShare-1e-12 {
+					return false
+				}
+				sum += res.Effective[i][k]
+			}
+			if sum > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rewards are finite and bounded by the configured clip for any
+// in-range action.
+func TestRewardBoundedProperty(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	f := func(raw [6]float64, steps uint8) bool {
+		e, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		e.Reset()
+		action := make([]float64, 6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			action[i] = math.Mod(math.Abs(v), 1.0)
+		}
+		n := int(steps)%30 + 1
+		for s := 0; s < n; s++ {
+			res, err := e.StepInterval(action)
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(res.Reward) || math.Abs(res.Reward) > cfg.RewardClip+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Same seed, same actions -> identical trajectories (full determinism).
+func TestEnvDeterminism(t *testing.T) {
+	run := func() []float64 {
+		cfg := DefaultExperimentConfig()
+		cfg.Seed = 99
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Reset()
+		action := []float64{0.6, 0.6, 0.2, 0.1, 0.1, 0.7}
+		var rewards []float64
+		for i := 0; i < 40; i++ {
+			res, err := e.StepInterval(action)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rewards = append(rewards, res.Reward)
+		}
+		return rewards
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Queue conservation at the environment level: arrivals minus served equals
+// backlog for every slice over an arbitrary run.
+func TestEnvQueueConservation(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.TrainCoordRandom = false
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	action := []float64{0.5, 0.5, 0.2, 0.1, 0.1, 0.5}
+	var arrived, served [2]int
+	for i := 0; i < 200; i++ {
+		res, err := e.StepInterval(action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 2; s++ {
+			arrived[s] += res.Arrived[s]
+			served[s] += res.Served[s]
+		}
+	}
+	for s := 0; s < 2; s++ {
+		if got := arrived[s] - served[s]; got != e.QueueLens()[s] {
+			t.Errorf("slice %d: arrived-served = %d, backlog = %d", s, got, e.QueueLens()[s])
+		}
+	}
+}
+
+// Monotonicity: strictly more of the bottleneck resource must not worsen a
+// slice's service rate (served count over a long horizon).
+func TestMoreResourcesNeverHurt(t *testing.T) {
+	serve := func(radioShare float64) int {
+		cfg := DefaultExperimentConfig()
+		cfg.TrainCoordRandom = false
+		cfg.Seed = 7
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Reset()
+		action := []float64{radioShare, 0.9, 0.3, 0.05, 0.05, 0.6}
+		total := 0
+		for i := 0; i < 100; i++ {
+			res, err := e.StepInterval(action)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Served[0]
+		}
+		return total
+	}
+	low := serve(0.2)
+	high := serve(0.8)
+	if high < low {
+		t.Errorf("more radio served less: %d vs %d", high, low)
+	}
+}

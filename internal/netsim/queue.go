@@ -1,0 +1,87 @@
+package netsim
+
+// SliceQueue is the first-in first-out service queue a network slice holds
+// in each RA (Sec. VI-B). Tasks are tracked individually with their arrival
+// interval so sojourn times can be audited; service capacity is fluid (a
+// fractional rate per interval) with a deficit counter carrying the
+// remainder between intervals.
+type SliceQueue struct {
+	arrivals []int   // arrival interval per queued task, FIFO order
+	head     int     // index of the oldest task
+	carry    float64 // fractional service credit
+
+	totalArrived int
+	totalServed  int
+	sumSojourn   float64
+}
+
+// Arrive enqueues n tasks arriving at interval now.
+func (q *SliceQueue) Arrive(n, now int) {
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		q.arrivals = append(q.arrivals, now)
+	}
+	q.totalArrived += n
+}
+
+// Serve dequeues up to rate tasks (fractional rates accumulate across
+// intervals) and returns the number actually served at interval now.
+func (q *SliceQueue) Serve(rate float64, now int) int {
+	if rate < 0 {
+		rate = 0
+	}
+	q.carry += rate
+	n := int(q.carry)
+	if avail := q.Len(); n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		// Cap stored credit so an idle queue cannot bank unlimited service.
+		if q.carry > rate {
+			q.carry = rate
+		}
+		return 0
+	}
+	q.carry -= float64(n)
+	for i := 0; i < n; i++ {
+		q.sumSojourn += float64(now - q.arrivals[q.head])
+		q.head++
+	}
+	q.totalServed += n
+	// Compact occasionally so memory stays bounded.
+	if q.head > 1024 && q.head*2 > len(q.arrivals) {
+		q.arrivals = append([]int(nil), q.arrivals[q.head:]...)
+		q.head = 0
+	}
+	return n
+}
+
+// Len returns the current queue length l (the paper's network state).
+func (q *SliceQueue) Len() int { return len(q.arrivals) - q.head }
+
+// TotalArrived returns the cumulative number of arrived tasks.
+func (q *SliceQueue) TotalArrived() int { return q.totalArrived }
+
+// TotalServed returns the cumulative number of served tasks.
+func (q *SliceQueue) TotalServed() int { return q.totalServed }
+
+// MeanSojourn returns the average number of intervals served tasks spent in
+// the queue, or 0 if nothing has been served.
+func (q *SliceQueue) MeanSojourn() float64 {
+	if q.totalServed == 0 {
+		return 0
+	}
+	return q.sumSojourn / float64(q.totalServed)
+}
+
+// Reset clears the queue and its statistics.
+func (q *SliceQueue) Reset() {
+	q.arrivals = q.arrivals[:0]
+	q.head = 0
+	q.carry = 0
+	q.totalArrived = 0
+	q.totalServed = 0
+	q.sumSojourn = 0
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Activation identifies an element-wise activation function. The zero value
+// is invalid; enums start at one per the style guide.
+type Activation int
+
+// Supported activations. The paper's agents use Leaky ReLU hidden layers and
+// a sigmoid output layer (Sec. VI-A); tanh and identity are needed by the
+// PPO/TRPO/VPG/SAC comparison trainers.
+const (
+	ActIdentity Activation = iota + 1
+	ActLeakyReLU
+	ActSigmoid
+	ActTanh
+	ActReLU
+)
+
+// leakySlope is the negative-side slope of the Leaky Rectifier, matching the
+// common default (Maas et al., 2013) used by TF 1.x's leaky_relu.
+const leakySlope = 0.2
+
+// String returns the canonical name, used in weight serialization.
+func (a Activation) String() string {
+	switch a {
+	case ActIdentity:
+		return "identity"
+	case ActLeakyReLU:
+		return "leaky_relu"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActTanh:
+		return "tanh"
+	case ActReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// ParseActivation is the inverse of String.
+func ParseActivation(s string) (Activation, error) {
+	switch s {
+	case "identity":
+		return ActIdentity, nil
+	case "leaky_relu":
+		return ActLeakyReLU, nil
+	case "sigmoid":
+		return ActSigmoid, nil
+	case "tanh":
+		return ActTanh, nil
+	case "relu":
+		return ActReLU, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown activation %q", s)
+	}
+}
+
+// Apply computes the activation of z.
+func (a Activation) Apply(z float64) float64 {
+	switch a {
+	case ActIdentity:
+		return z
+	case ActLeakyReLU:
+		if z >= 0 {
+			return z
+		}
+		return leakySlope * z
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-z))
+	case ActTanh:
+		return math.Tanh(z)
+	case ActReLU:
+		if z > 0 {
+			return z
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("nn: Apply on invalid %v", a))
+	}
+}
+
+// Derivative returns da/dz given the pre-activation z and the already
+// computed activation value y (some derivatives are cheaper in terms of y).
+func (a Activation) Derivative(z, y float64) float64 {
+	switch a {
+	case ActIdentity:
+		return 1
+	case ActLeakyReLU:
+		if z >= 0 {
+			return 1
+		}
+		return leakySlope
+	case ActSigmoid:
+		return y * (1 - y)
+	case ActTanh:
+		return 1 - y*y
+	case ActReLU:
+		if z > 0 {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("nn: Derivative on invalid %v", a))
+	}
+}

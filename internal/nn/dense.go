@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully connected layer computing y = act(x·Wᵀ + b). Weights are
+// stored as (out×in) so each output neuron's weights are a contiguous row.
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W *Matrix // (Out×In)
+	B []float64
+
+	// Gradients accumulated by Backward; cleared by ZeroGrad.
+	GradW *Matrix
+	GradB []float64
+
+	// Forward caches, needed by Backward.
+	lastInput *Matrix // (N×In)
+	lastPre   *Matrix // pre-activation z (N×Out)
+	lastOut   *Matrix // activation y (N×Out)
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape in=%d out=%d", in, out))
+	}
+	d := &Dense{
+		In:    in,
+		Out:   out,
+		Act:   act,
+		W:     NewMatrix(out, in),
+		B:     make([]float64, out),
+		GradW: NewMatrix(out, in),
+		GradB: make([]float64, out),
+	}
+	d.W.RandomizeXavier(rng, in, out)
+	return d
+}
+
+// Forward computes the layer output for a batch x of shape (N×In) and caches
+// intermediates for Backward.
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", x.Cols, d.In))
+	}
+	z := MatMulNT(x, d.W) // (N×Out)
+	for i := 0; i < z.Rows; i++ {
+		row := z.Row(i)
+		for j := range row {
+			row[j] += d.B[j]
+		}
+	}
+	y := NewMatrix(z.Rows, z.Cols)
+	for i := range z.Data {
+		y.Data[i] = d.Act.Apply(z.Data[i])
+	}
+	d.lastInput = x
+	d.lastPre = z
+	d.lastOut = y
+	return y
+}
+
+// Backward accumulates parameter gradients given dL/dy of shape (N×Out) and
+// returns dL/dx of shape (N×In). Forward must have been called first.
+func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	if d.lastInput == nil {
+		panic("nn: Backward called before Forward")
+	}
+	if gradOut.Rows != d.lastPre.Rows || gradOut.Cols != d.Out {
+		panic(fmt.Sprintf("nn: dense backward shape (%d×%d), want (%d×%d)",
+			gradOut.Rows, gradOut.Cols, d.lastPre.Rows, d.Out))
+	}
+	// dL/dz = dL/dy ⊙ act'(z)
+	dz := NewMatrix(gradOut.Rows, gradOut.Cols)
+	for i := range dz.Data {
+		dz.Data[i] = gradOut.Data[i] * d.Act.Derivative(d.lastPre.Data[i], d.lastOut.Data[i])
+	}
+	// dW += dzᵀ · x ; db += colsum(dz)
+	dw := MatMulTN(dz, d.lastInput)
+	for i := range d.GradW.Data {
+		d.GradW.Data[i] += dw.Data[i]
+	}
+	for i := 0; i < dz.Rows; i++ {
+		row := dz.Row(i)
+		for j := range row {
+			d.GradB[j] += row[j]
+		}
+	}
+	// dL/dx = dz · W
+	return MatMulNN(dz, d.W)
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.GradW.Zero()
+	for i := range d.GradB {
+		d.GradB[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the layer's parameters (not its caches).
+func (d *Dense) Clone() *Dense {
+	out := &Dense{
+		In:    d.In,
+		Out:   d.Out,
+		Act:   d.Act,
+		W:     d.W.Clone(),
+		B:     append([]float64(nil), d.B...),
+		GradW: NewMatrix(d.Out, d.In),
+		GradB: make([]float64, d.Out),
+	}
+	return out
+}

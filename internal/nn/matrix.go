@@ -1,0 +1,165 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// to train the EdgeSlice orchestration agents: dense layers, the activation
+// functions used in the paper (Leaky ReLU hidden layers, sigmoid output),
+// SGD and Adam optimizers, Xavier initialization, soft target updates, and
+// JSON serialization of weights.
+//
+// The paper implements its agents with TensorFlow 1.10 (Sec. VI-A); no Go
+// deep-learning framework is available offline, so this package is the
+// substitution (see DESIGN.md §5).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// RandomizeXavier fills the matrix with Xavier/Glorot-uniform values for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) RandomizeXavier(rng *rand.Rand, fanIn, fanOut int) {
+	limit := xavierLimit(fanIn, fanOut)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+func xavierLimit(fanIn, fanOut int) float64 {
+	denom := float64(fanIn + fanOut)
+	if denom <= 0 {
+		return 0
+	}
+	// sqrt(6/(fanIn+fanOut)) — Glorot & Bengio (2010).
+	x := 6 / denom
+	// Newton's method would be overkill; use math.Sqrt via a tiny helper to
+	// keep the import set obvious.
+	return sqrt(x)
+}
+
+// MatMulNT computes C = A * Bᵀ where A is (n×k) and B is (m×k), yielding an
+// (n×m) result. This is the layout used by dense-layer forward passes where
+// weights are stored as (out×in).
+func MatMulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulNT inner dim mismatch %d != %d", a.Cols, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		cr := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float64
+			for k := range ar {
+				s += ar[k] * br[k]
+			}
+			cr[j] = s
+		}
+	}
+	return c
+}
+
+// MatMulNN computes C = A * B where A is (n×k) and B is (k×m).
+func MatMulNN(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulNN inner dim mismatch %d != %d", a.Cols, b.Rows))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		cr := c.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range br {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTN computes C = Aᵀ * B where A is (k×n) and B is (k×m), yielding an
+// (n×m) result. Used for weight gradients: dW = dYᵀ · X.
+func MatMulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulTN inner dim mismatch %d != %d", a.Rows, b.Rows))
+	}
+	c := NewMatrix(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			cr := c.Row(i)
+			for j := range br {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return mathSqrt(x)
+}

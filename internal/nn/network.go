@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Network is a multilayer perceptron: a sequence of Dense layers.
+type Network struct {
+	Layers []*Dense
+}
+
+// LayerSpec describes one layer of an MLP.
+type LayerSpec struct {
+	Out int
+	Act Activation
+}
+
+// NewMLP builds a network with the given input width and layer specs.
+func NewMLP(rng *rand.Rand, in int, specs ...LayerSpec) *Network {
+	if len(specs) == 0 {
+		panic("nn: NewMLP needs at least one layer")
+	}
+	n := &Network{Layers: make([]*Dense, 0, len(specs))}
+	prev := in
+	for _, s := range specs {
+		n.Layers = append(n.Layers, NewDense(rng, prev, s.Out, s.Act))
+		prev = s.Out
+	}
+	return n
+}
+
+// InputDim returns the expected input width.
+func (n *Network) InputDim() int { return n.Layers[0].In }
+
+// OutputDim returns the output width.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward runs a batch (N×InputDim) through the network.
+func (n *Network) Forward(x *Matrix) *Matrix {
+	y := x
+	for _, l := range n.Layers {
+		y = l.Forward(y)
+	}
+	return y
+}
+
+// Forward1 runs a single input vector and returns a single output vector.
+func (n *Network) Forward1(x []float64) []float64 {
+	out := n.Forward(FromRows([][]float64{x}))
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// Backward backpropagates dL/dy through the network, accumulating parameter
+// gradients, and returns dL/dx (useful for DDPG's critic-to-actor chain
+// rule, Eq. 18).
+func (n *Network) Backward(gradOut *Matrix) *Matrix {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Clone returns a deep copy of the network parameters.
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]*Dense, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, l.Clone())
+	}
+	return out
+}
+
+// CopyFrom copies parameters from src (hard target update).
+func (n *Network) CopyFrom(src *Network) {
+	mustSameArch(n, src)
+	for i, l := range n.Layers {
+		copy(l.W.Data, src.Layers[i].W.Data)
+		copy(l.B, src.Layers[i].B)
+	}
+}
+
+// SoftUpdate blends parameters from src: θ ← τ·θsrc + (1−τ)·θ. DDPG uses
+// this to track critic/actor parameters in the target networks (Fig. 3).
+func (n *Network) SoftUpdate(src *Network, tau float64) {
+	mustSameArch(n, src)
+	for i, l := range n.Layers {
+		s := src.Layers[i]
+		for k := range l.W.Data {
+			l.W.Data[k] = tau*s.W.Data[k] + (1-tau)*l.W.Data[k]
+		}
+		for k := range l.B {
+			l.B[k] = tau*s.B[k] + (1-tau)*l.B[k]
+		}
+	}
+}
+
+// Params returns flat views of every parameter tensor paired with its
+// gradient, for optimizers.
+func (n *Network) Params() []ParamGrad {
+	out := make([]ParamGrad, 0, 2*len(n.Layers))
+	for _, l := range n.Layers {
+		out = append(out,
+			ParamGrad{Value: l.W.Data, Grad: l.GradW.Data},
+			ParamGrad{Value: l.B, Grad: l.GradB},
+		)
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	var c int
+	for _, l := range n.Layers {
+		c += len(l.W.Data) + len(l.B)
+	}
+	return c
+}
+
+// FlattenParams copies all parameters into a single vector.
+func (n *Network) FlattenParams() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		out = append(out, l.W.Data...)
+		out = append(out, l.B...)
+	}
+	return out
+}
+
+// FlattenGrads copies all gradients into a single vector in the same order
+// as FlattenParams.
+func (n *Network) FlattenGrads() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		out = append(out, l.GradW.Data...)
+		out = append(out, l.GradB...)
+	}
+	return out
+}
+
+// SetFlatParams writes a flat parameter vector (as produced by
+// FlattenParams) back into the network.
+func (n *Network) SetFlatParams(flat []float64) error {
+	if len(flat) != n.NumParams() {
+		return fmt.Errorf("nn: SetFlatParams got %d values, want %d", len(flat), n.NumParams())
+	}
+	i := 0
+	for _, l := range n.Layers {
+		i += copy(l.W.Data, flat[i:i+len(l.W.Data)])
+		i += copy(l.B, flat[i:i+len(l.B)])
+	}
+	return nil
+}
+
+// ParamGrad pairs a parameter tensor with its gradient buffer.
+type ParamGrad struct {
+	Value []float64
+	Grad  []float64
+}
+
+func mustSameArch(a, b *Network) {
+	if len(a.Layers) != len(b.Layers) {
+		panic(fmt.Sprintf("nn: architecture mismatch: %d vs %d layers", len(a.Layers), len(b.Layers)))
+	}
+	for i := range a.Layers {
+		if a.Layers[i].In != b.Layers[i].In || a.Layers[i].Out != b.Layers[i].Out {
+			panic(fmt.Sprintf("nn: layer %d shape mismatch", i))
+		}
+	}
+}
+
+// snapshot is the JSON wire form of a network.
+type snapshot struct {
+	Layers []layerSnapshot `json:"layers"`
+}
+
+type layerSnapshot struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	Act string    `json:"act"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MarshalJSON serializes the network weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	s := snapshot{Layers: make([]layerSnapshot, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		s.Layers = append(s.Layers, layerSnapshot{
+			In: l.In, Out: l.Out, Act: l.Act.String(),
+			W: l.W.Data, B: l.B,
+		})
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON restores network weights, rebuilding the layer structure.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("nn: decode network: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("nn: decode network: no layers")
+	}
+	layers := make([]*Dense, 0, len(s.Layers))
+	for i, ls := range s.Layers {
+		act, err := ParseActivation(ls.Act)
+		if err != nil {
+			return fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		if ls.In <= 0 || ls.Out <= 0 {
+			return fmt.Errorf("nn: layer %d: invalid shape %dx%d", i, ls.Out, ls.In)
+		}
+		if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return fmt.Errorf("nn: layer %d: weight sizes do not match shape", i)
+		}
+		d := &Dense{
+			In: ls.In, Out: ls.Out, Act: act,
+			W:     &Matrix{Rows: ls.Out, Cols: ls.In, Data: append([]float64(nil), ls.W...)},
+			B:     append([]float64(nil), ls.B...),
+			GradW: NewMatrix(ls.Out, ls.In),
+			GradB: make([]float64, ls.Out),
+		}
+		layers = append(layers, d)
+	}
+	n.Layers = layers
+	return nil
+}

@@ -1,0 +1,117 @@
+package nn
+
+import "math"
+
+// Optimizer updates network parameters from their accumulated gradients.
+// Implementations assume gradients are for *minimization*; callers that
+// maximize (e.g. the DDPG actor, Eq. 18) negate gradients before stepping.
+type Optimizer interface {
+	// Step applies one update to every parameter of the network and leaves
+	// gradients untouched (callers ZeroGrad between steps).
+	Step(n *Network)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Network][][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Network][][]float64)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(n *Network) {
+	params := n.Params()
+	vel, ok := o.velocity[n]
+	if !ok {
+		vel = make([][]float64, len(params))
+		for i, p := range params {
+			vel[i] = make([]float64, len(p.Value))
+		}
+		o.velocity[n] = vel
+	}
+	for i, p := range params {
+		v := vel[i]
+		for k := range p.Value {
+			v[k] = o.Momentum*v[k] - o.LR*p.Grad[k]
+			p.Value[k] += v[k]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015), the default used
+// for the paper's actor and critic networks (learning rate 0.001).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	state map[*Network]*adamState
+}
+
+type adamState struct {
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, state: make(map[*Network]*adamState)}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(n *Network) {
+	params := n.Params()
+	st, ok := o.state[n]
+	if !ok {
+		st = &adamState{m: make([][]float64, len(params)), v: make([][]float64, len(params))}
+		for i, p := range params {
+			st.m[i] = make([]float64, len(p.Value))
+			st.v[i] = make([]float64, len(p.Value))
+		}
+		o.state[n] = st
+	}
+	st.t++
+	b1c := 1 - math.Pow(o.Beta1, float64(st.t))
+	b2c := 1 - math.Pow(o.Beta2, float64(st.t))
+	for i, p := range params {
+		m, v := st.m[i], st.v[i]
+		for k := range p.Value {
+			g := p.Grad[k]
+			m[k] = o.Beta1*m[k] + (1-o.Beta1)*g
+			v[k] = o.Beta2*v[k] + (1-o.Beta2)*g*g
+			mHat := m[k] / b1c
+			vHat := v[k] / b2c
+			p.Value[k] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+	}
+}
+
+// ClipGrads scales the network's gradients so their global L2 norm does not
+// exceed maxNorm. It returns the pre-clip norm. PPO/TRPO-style trainers use
+// this to stabilize updates.
+func ClipGrads(n *Network, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range n.Params() {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range n.Params() {
+		for k := range p.Grad {
+			p.Grad[k] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,273 @@
+// Package radio implements the EdgeSlice radio manager (Sec. V-A) together
+// with the substrate it controls in the prototype — an OpenAirInterface
+// eNodeB's MAC scheduler. The substitute is a subframe-level LTE scheduler:
+// a cell exposes a fixed number of physical resource blocks (PRBs) per
+// subframe (25 PRBs for the prototype's 5 MHz carriers), network slices own
+// PRB budgets set by the orchestration agent through the VR-R interface,
+// and slice users are scheduled consecutively onto PRBs; users without
+// radio resources are not scheduled — exactly the user-scheduling rule the
+// paper adds to vanilla OAI.
+//
+// User/slice association is by IMSI, extracted from the S1AP attach
+// message as in the prototype (no modification on the UE side).
+package radio
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PRBsPer5MHz is the LTE PRB count of a 5 MHz carrier, the prototype's
+// configuration (Table II: both eNodeBs run 25-PRB cells).
+const PRBsPer5MHz = 25
+
+// S1APAttach is the subset of an S1AP initial-UE message the radio manager
+// inspects to learn the user-slice association (Sec. V-A: "The IMSI
+// information is extracted from the S1AP message sent from the base station
+// to mobile management entity").
+type S1APAttach struct {
+	IMSI    string
+	CellID  int
+	SliceID int
+}
+
+// ExtractIMSI validates and returns the IMSI of an attach message.
+func ExtractIMSI(msg S1APAttach) (string, error) {
+	if len(msg.IMSI) < 5 || len(msg.IMSI) > 15 {
+		return "", fmt.Errorf("radio: malformed IMSI %q", msg.IMSI)
+	}
+	for _, r := range msg.IMSI {
+		if r < '0' || r > '9' {
+			return "", fmt.Errorf("radio: non-digit IMSI %q", msg.IMSI)
+		}
+	}
+	return msg.IMSI, nil
+}
+
+// UE is an attached user.
+type UE struct {
+	IMSI    string
+	SliceID int
+	// CQI abstracts channel quality: bytes deliverable per PRB per
+	// subframe. The prototype's smartphones see varying channel quality;
+	// tests pin it for determinism.
+	CQI float64
+	// BacklogBytes is the pending downlink data for this UE.
+	BacklogBytes float64
+}
+
+// Allocation reports one subframe's scheduling outcome for a UE.
+type Allocation struct {
+	IMSI        string
+	SliceID     int
+	PRBs        int
+	BytesServed float64
+}
+
+// Cell is a simulated eNodeB MAC with slice-aware PRB scheduling.
+type Cell struct {
+	mu sync.Mutex
+
+	id        int
+	prbs      int
+	ues       map[string]*UE
+	shares    map[int]float64 // slice -> PRB fraction, set by the manager
+	subframe  int
+	servedCum map[int]float64 // slice -> cumulative bytes
+}
+
+// NewCell creates a cell with the given PRB count.
+func NewCell(id, prbs int) (*Cell, error) {
+	if prbs <= 0 {
+		return nil, fmt.Errorf("radio: cell %d needs positive PRBs, got %d", id, prbs)
+	}
+	return &Cell{
+		id:        id,
+		prbs:      prbs,
+		ues:       make(map[string]*UE),
+		shares:    make(map[int]float64),
+		servedCum: make(map[int]float64),
+	}, nil
+}
+
+// Attach registers a UE from its S1AP attach message.
+func (c *Cell) Attach(msg S1APAttach, cqi float64) error {
+	imsi, err := ExtractIMSI(msg)
+	if err != nil {
+		return err
+	}
+	if cqi <= 0 {
+		return fmt.Errorf("radio: CQI %v must be positive", cqi)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ues[imsi]; ok {
+		return fmt.Errorf("radio: IMSI %s already attached", imsi)
+	}
+	c.ues[imsi] = &UE{IMSI: imsi, SliceID: msg.SliceID, CQI: cqi}
+	return nil
+}
+
+// Detach removes a UE.
+func (c *Cell) Detach(imsi string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ues[imsi]; !ok {
+		return fmt.Errorf("radio: IMSI %s not attached", imsi)
+	}
+	delete(c.ues, imsi)
+	return nil
+}
+
+// AddTraffic queues downlink bytes for a UE.
+func (c *Cell) AddTraffic(imsi string, bytes float64) error {
+	if bytes < 0 {
+		return fmt.Errorf("radio: negative traffic %v", bytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok {
+		return fmt.Errorf("radio: IMSI %s not attached", imsi)
+	}
+	ue.BacklogBytes += bytes
+	return nil
+}
+
+// SetSliceShare installs a slice's PRB fraction (the VR-R runtime update
+// from the orchestration agent). Shares are clamped to [0, 1].
+func (c *Cell) SetSliceShare(slice int, share float64) {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shares[slice] = share
+}
+
+// SliceShare returns a slice's configured share.
+func (c *Cell) SliceShare(slice int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shares[slice]
+}
+
+// ScheduleSubframe runs one TTI: each slice's PRB budget is its share of
+// the cell's PRBs (over-subscription is scaled down); within a slice, users
+// are scheduled consecutively onto PRBs in IMSI order until the budget is
+// exhausted. Users in slices with zero budget are not scheduled.
+func (c *Cell) ScheduleSubframe() []Allocation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subframe++
+
+	// Slice budgets in whole PRBs; scale down if shares oversubscribe.
+	var totalShare float64
+	for _, s := range c.shares {
+		totalShare += s
+	}
+	scale := 1.0
+	if totalShare > 1 {
+		scale = 1 / totalShare
+	}
+	budgets := make(map[int]int, len(c.shares))
+	for slice, s := range c.shares {
+		budgets[slice] = int(s * scale * float64(c.prbs))
+	}
+
+	// Group UEs by slice, deterministic order.
+	bySlice := make(map[int][]*UE)
+	for _, ue := range c.ues {
+		bySlice[ue.SliceID] = append(bySlice[ue.SliceID], ue)
+	}
+	slices := make([]int, 0, len(bySlice))
+	for s := range bySlice {
+		slices = append(slices, s)
+	}
+	sort.Ints(slices)
+
+	var out []Allocation
+	for _, slice := range slices {
+		budget := budgets[slice]
+		if budget <= 0 {
+			continue
+		}
+		ues := bySlice[slice]
+		sort.Slice(ues, func(a, b int) bool { return ues[a].IMSI < ues[b].IMSI })
+		for _, ue := range ues {
+			if budget <= 0 {
+				break
+			}
+			if ue.BacklogBytes <= 0 {
+				continue
+			}
+			need := int(ue.BacklogBytes/ue.CQI) + 1
+			grant := need
+			if grant > budget {
+				grant = budget
+			}
+			served := float64(grant) * ue.CQI
+			if served > ue.BacklogBytes {
+				served = ue.BacklogBytes
+			}
+			ue.BacklogBytes -= served
+			budget -= grant
+			c.servedCum[slice] += served
+			out = append(out, Allocation{IMSI: ue.IMSI, SliceID: slice, PRBs: grant, BytesServed: served})
+		}
+	}
+	return out
+}
+
+// ServedBytes returns cumulative bytes served for a slice.
+func (c *Cell) ServedBytes(slice int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servedCum[slice]
+}
+
+// Backlog returns a UE's pending bytes.
+func (c *Cell) Backlog(imsi string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok {
+		return 0, fmt.Errorf("radio: IMSI %s not attached", imsi)
+	}
+	return ue.BacklogBytes, nil
+}
+
+// Subframe returns the TTI counter.
+func (c *Cell) Subframe() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subframe
+}
+
+// Manager is the radio manager middleware: it receives slice radio shares
+// from the orchestration agent over the VR-R interface and applies them to
+// its cell at runtime.
+type Manager struct {
+	cell *Cell
+}
+
+// NewManager wraps a cell.
+func NewManager(cell *Cell) *Manager { return &Manager{cell: cell} }
+
+// Apply installs per-slice radio shares (index = slice id).
+func (m *Manager) Apply(shares []float64) error {
+	if len(shares) == 0 {
+		return fmt.Errorf("radio: empty share vector")
+	}
+	for slice, s := range shares {
+		m.cell.SetSliceShare(slice, s)
+	}
+	return nil
+}
+
+// Cell returns the managed cell.
+func (m *Manager) Cell() *Cell { return m.cell }

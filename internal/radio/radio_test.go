@@ -1,0 +1,218 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func attach(t *testing.T, c *Cell, imsi string, slice int) {
+	t.Helper()
+	if err := c.Attach(S1APAttach{IMSI: imsi, SliceID: slice}, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractIMSI(t *testing.T) {
+	cases := []struct {
+		imsi string
+		ok   bool
+	}{
+		{"310150123456789", true},
+		{"12345", true},
+		{"1234", false},             // too short
+		{"3101501234567890", false}, // too long
+		{"31015012345678x", false},  // non-digit
+		{"", false},
+	}
+	for _, c := range cases {
+		_, err := ExtractIMSI(S1APAttach{IMSI: c.imsi})
+		if (err == nil) != c.ok {
+			t.Errorf("ExtractIMSI(%q): err=%v, want ok=%v", c.imsi, err, c.ok)
+		}
+	}
+}
+
+func TestNewCellValidation(t *testing.T) {
+	if _, err := NewCell(1, 0); err == nil {
+		t.Error("zero PRBs should fail")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	attach(t, c, "310150000000001", 0)
+	if err := c.Attach(S1APAttach{IMSI: "310150000000001", SliceID: 0}, 100); err == nil {
+		t.Error("duplicate attach should fail")
+	}
+	if err := c.Attach(S1APAttach{IMSI: "310150000000002", SliceID: 0}, 0); err == nil {
+		t.Error("non-positive CQI should fail")
+	}
+	if err := c.Detach("310150000000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Detach("310150000000001"); err == nil {
+		t.Error("double detach should fail")
+	}
+}
+
+func TestSchedulerRespectsSliceBudgets(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	attach(t, c, "310150000000001", 0)
+	attach(t, c, "310150000000002", 1)
+	if err := c.AddTraffic("310150000000001", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTraffic("310150000000002", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSliceShare(0, 0.6)
+	c.SetSliceShare(1, 0.4)
+	allocs := c.ScheduleSubframe()
+	prbs := map[int]int{}
+	for _, a := range allocs {
+		prbs[a.SliceID] += a.PRBs
+	}
+	if prbs[0] > 15 { // 60% of 25
+		t.Errorf("slice 0 got %d PRBs, budget 15", prbs[0])
+	}
+	if prbs[1] > 10 {
+		t.Errorf("slice 1 got %d PRBs, budget 10", prbs[1])
+	}
+	if prbs[0] <= prbs[1] {
+		t.Errorf("slice with larger share should get more PRBs: %v", prbs)
+	}
+}
+
+func TestZeroShareNotScheduled(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	attach(t, c, "310150000000001", 0)
+	if err := c.AddTraffic("310150000000001", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSliceShare(0, 0)
+	if allocs := c.ScheduleSubframe(); len(allocs) != 0 {
+		t.Errorf("zero-share slice users must not be scheduled, got %v", allocs)
+	}
+}
+
+func TestOversubscribedSharesScaled(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	attach(t, c, "310150000000001", 0)
+	attach(t, c, "310150000000002", 1)
+	if err := c.AddTraffic("310150000000001", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTraffic("310150000000002", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSliceShare(0, 1.0)
+	c.SetSliceShare(1, 1.0)
+	allocs := c.ScheduleSubframe()
+	var total int
+	for _, a := range allocs {
+		total += a.PRBs
+	}
+	if total > PRBsPer5MHz {
+		t.Errorf("scheduled %d PRBs, cell has %d", total, PRBsPer5MHz)
+	}
+}
+
+// Property: scheduled PRBs never exceed the cell size for any share pair,
+// and backlog never goes negative.
+func TestSchedulerCapacityProperty(t *testing.T) {
+	f := func(s0raw, s1raw uint8, traffic0, traffic1 uint16) bool {
+		c, err := NewCell(1, PRBsPer5MHz)
+		if err != nil {
+			return false
+		}
+		if err := c.Attach(S1APAttach{IMSI: "310150000000001", SliceID: 0}, 50); err != nil {
+			return false
+		}
+		if err := c.Attach(S1APAttach{IMSI: "310150000000002", SliceID: 1}, 50); err != nil {
+			return false
+		}
+		_ = c.AddTraffic("310150000000001", float64(traffic0))
+		_ = c.AddTraffic("310150000000002", float64(traffic1))
+		c.SetSliceShare(0, float64(s0raw)/255)
+		c.SetSliceShare(1, float64(s1raw)/255)
+		for sub := 0; sub < 5; sub++ {
+			allocs := c.ScheduleSubframe()
+			var total int
+			for _, a := range allocs {
+				total += a.PRBs
+			}
+			if total > PRBsPer5MHz {
+				return false
+			}
+		}
+		b0, err := c.Backlog("310150000000001")
+		if err != nil || b0 < 0 {
+			return false
+		}
+		b1, err := c.Backlog("310150000000002")
+		return err == nil && b1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	if err := c.AddTraffic("nosuch", 10); err == nil {
+		t.Error("traffic for unknown IMSI should fail")
+	}
+	attach(t, c, "310150000000001", 0)
+	if err := c.AddTraffic("310150000000001", -1); err == nil {
+		t.Error("negative traffic should fail")
+	}
+	if _, err := c.Backlog("nosuch"); err == nil {
+		t.Error("backlog of unknown IMSI should fail")
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	attach(t, c, "310150000000001", 0)
+	if err := c.AddTraffic("310150000000001", 500); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSliceShare(0, 1.0)
+	for i := 0; i < 10; i++ {
+		c.ScheduleSubframe()
+	}
+	b, _ := c.Backlog("310150000000001")
+	if b != 0 {
+		t.Errorf("backlog %v should drain to 0", b)
+	}
+	if c.ServedBytes(0) != 500 {
+		t.Errorf("served %v, want 500", c.ServedBytes(0))
+	}
+	if c.Subframe() != 10 {
+		t.Errorf("subframe counter %d, want 10", c.Subframe())
+	}
+}
+
+func TestManagerApply(t *testing.T) {
+	c, _ := NewCell(1, PRBsPer5MHz)
+	m := NewManager(c)
+	if err := m.Apply(nil); err == nil {
+		t.Error("empty shares should fail")
+	}
+	if err := m.Apply([]float64{0.7, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SliceShare(0); got != 0.7 {
+		t.Errorf("slice 0 share %v, want 0.7", got)
+	}
+	// Clamping.
+	if err := m.Apply([]float64{-1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.SliceShare(0) != 0 || c.SliceShare(1) != 1 {
+		t.Error("shares should clamp to [0,1]")
+	}
+	if m.Cell() != c {
+		t.Error("Cell accessor mismatch")
+	}
+}

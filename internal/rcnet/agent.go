@@ -1,0 +1,76 @@
+package rcnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+func newReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 64*1024)
+}
+
+// AgentClient is the orchestration-agent side of the RC-L interface.
+type AgentClient struct {
+	ra   int
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// ErrShutdown is returned by RecvCoordination when the coordinator ends the
+// session.
+var ErrShutdown = errors.New("rcnet: coordinator shut down")
+
+// DialAgent connects to the hub and registers as the given RA.
+func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error) {
+	if ra < 0 {
+		return nil, fmt.Errorf("rcnet: negative RA id %d", ra)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: dial %s: %w", addr, err)
+	}
+	if err := writeMsg(conn, Envelope{Type: MsgRegister, RA: ra}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return &AgentClient{ra: ra, conn: conn, br: newReader(conn)}, nil
+}
+
+// RA returns this client's resource-autonomy id.
+func (c *AgentClient) RA() int { return c.ra }
+
+// RecvCoordination blocks for the next coordination message. It returns
+// ErrShutdown when the hub ends the session.
+func (c *AgentClient) RecvCoordination(timeout time.Duration) (period int, z, y []float64, err error) {
+	if err := c.conn.SetReadDeadline(deadline(c.conn, timeout)); err != nil {
+		return 0, nil, nil, fmt.Errorf("rcnet: set deadline: %w", err)
+	}
+	for {
+		m, err := readMsg(c.br)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("rcnet: recv coordination: %w", err)
+		}
+		switch m.Type {
+		case MsgShutdown:
+			return 0, nil, nil, ErrShutdown
+		case MsgCoordination:
+			return m.Period, m.Z, m.Y, nil
+		default:
+			// Ignore unexpected frames and keep waiting.
+		}
+	}
+}
+
+// ReportPerf sends the period's cumulative slice performance, optionally
+// with the RC-M queue snapshot.
+func (c *AgentClient) ReportPerf(period int, perf []float64, queues []int) error {
+	return writeMsg(c.conn, Envelope{
+		Type: MsgPerfReport, RA: c.ra, Period: period, Perf: perf, Queues: queues,
+	})
+}
+
+// Close closes the connection.
+func (c *AgentClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,210 @@
+package rcnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Hub is the coordinator-side endpoint: it accepts agent registrations,
+// broadcasts coordinating information, and collects per-period performance
+// reports.
+type Hub struct {
+	ln        net.Listener
+	numSlices int
+	numRAs    int
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // registered RA -> connection
+
+	reports    chan Envelope
+	registered chan int
+	acceptWG   sync.WaitGroup
+	readerWG   sync.WaitGroup
+	closed     chan struct{}
+	closeOnce  sync.Once
+}
+
+// NewHub listens on addr (e.g. "127.0.0.1:0") for numRAs agents managing
+// numSlices slices each.
+func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
+	if numSlices <= 0 || numRAs <= 0 {
+		return nil, fmt.Errorf("rcnet: invalid hub dims slices=%d ras=%d", numSlices, numRAs)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: listen %s: %w", addr, err)
+	}
+	h := &Hub{
+		ln:         ln,
+		numSlices:  numSlices,
+		numRAs:     numRAs,
+		conns:      make(map[int]net.Conn, numRAs),
+		reports:    make(chan Envelope, numRAs),
+		registered: make(chan int, numRAs),
+		closed:     make(chan struct{}),
+	}
+	h.acceptWG.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the listening address (useful with port 0).
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+func (h *Hub) acceptLoop() {
+	defer h.acceptWG.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.readerWG.Add(1)
+		go h.handleConn(conn)
+	}
+}
+
+// handleConn performs registration then pumps reports into the channel.
+func (h *Hub) handleConn(conn net.Conn) {
+	defer h.readerWG.Done()
+	br := newReader(conn)
+	msg, err := readMsg(br)
+	if err != nil || msg.Type != MsgRegister || msg.RA < 0 || msg.RA >= h.numRAs {
+		_ = conn.Close()
+		return
+	}
+	h.mu.Lock()
+	if _, dup := h.conns[msg.RA]; dup {
+		h.mu.Unlock()
+		_ = conn.Close() // duplicate registration is rejected
+		return
+	}
+	h.conns[msg.RA] = conn
+	h.mu.Unlock()
+	select {
+	case h.registered <- msg.RA:
+	case <-h.closed:
+		return
+	}
+	for {
+		m, err := readMsg(br)
+		if err != nil {
+			h.dropConn(msg.RA, conn)
+			return
+		}
+		if m.Type != MsgPerfReport {
+			continue // ignore unexpected frames
+		}
+		select {
+		case h.reports <- m:
+		case <-h.closed:
+			return
+		}
+	}
+}
+
+func (h *Hub) dropConn(ra int, conn net.Conn) {
+	h.mu.Lock()
+	if h.conns[ra] == conn {
+		delete(h.conns, ra)
+	}
+	h.mu.Unlock()
+	_ = conn.Close()
+}
+
+// WaitRegistered blocks until all RAs have registered or the timeout
+// expires.
+func (h *Hub) WaitRegistered(timeout time.Duration) error {
+	seen := make(map[int]bool, h.numRAs)
+	deadlineC := time.After(timeout)
+	for len(seen) < h.numRAs {
+		select {
+		case ra := <-h.registered:
+			seen[ra] = true
+		case <-deadlineC:
+			return fmt.Errorf("rcnet: %d/%d agents registered before timeout", len(seen), h.numRAs)
+		case <-h.closed:
+			return errors.New("rcnet: hub closed")
+		}
+	}
+	return nil
+}
+
+// Broadcast sends each RA its coordination column for the period. z and y
+// are [slice][ra] grids.
+func (h *Hub) Broadcast(period int, z, y [][]float64) error {
+	if len(z) != h.numSlices || len(y) != h.numSlices {
+		return fmt.Errorf("rcnet: coordination grids have %d/%d slices, want %d", len(z), len(y), h.numSlices)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ra := 0; ra < h.numRAs; ra++ {
+		conn, ok := h.conns[ra]
+		if !ok {
+			return fmt.Errorf("rcnet: RA %d not connected", ra)
+		}
+		zCol := make([]float64, h.numSlices)
+		yCol := make([]float64, h.numSlices)
+		for i := 0; i < h.numSlices; i++ {
+			zCol[i] = z[i][ra]
+			yCol[i] = y[i][ra]
+		}
+		if err := writeMsg(conn, Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol}); err != nil {
+			return fmt.Errorf("rcnet: broadcast to RA %d: %w", ra, err)
+		}
+	}
+	return nil
+}
+
+// Collect waits for a perf report from every RA for the given period and
+// returns perf[i][j]. Reports for other periods are discarded.
+func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
+	perf := make([][]float64, h.numSlices)
+	for i := range perf {
+		perf[i] = make([]float64, h.numRAs)
+	}
+	got := make(map[int]bool, h.numRAs)
+	deadlineC := time.After(timeout)
+	for len(got) < h.numRAs {
+		select {
+		case m := <-h.reports:
+			if m.Period != period || m.RA < 0 || m.RA >= h.numRAs || got[m.RA] {
+				continue
+			}
+			if len(m.Perf) != h.numSlices {
+				return nil, fmt.Errorf("rcnet: RA %d reported %d slices, want %d", m.RA, len(m.Perf), h.numSlices)
+			}
+			for i := 0; i < h.numSlices; i++ {
+				perf[i][m.RA] = m.Perf[i]
+			}
+			got[m.RA] = true
+		case <-deadlineC:
+			return nil, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", len(got), h.numRAs, period)
+		case <-h.closed:
+			return nil, errors.New("rcnet: hub closed")
+		}
+	}
+	return perf, nil
+}
+
+// Shutdown notifies agents, closes all connections and the listener, and
+// waits for internal goroutines to exit.
+func (h *Hub) Shutdown() error {
+	var err error
+	h.closeOnce.Do(func() {
+		h.mu.Lock()
+		for _, conn := range h.conns {
+			_ = writeMsg(conn, Envelope{Type: MsgShutdown})
+			_ = conn.Close()
+		}
+		h.conns = make(map[int]net.Conn)
+		h.mu.Unlock()
+		close(h.closed)
+		err = h.ln.Close()
+		h.acceptWG.Wait()
+		h.readerWG.Wait()
+	})
+	return err
+}

@@ -1,0 +1,86 @@
+// Package rcnet implements the EdgeSlice resource-coordination (RC)
+// interface of Sec. V-D as a real network protocol: the central performance
+// coordinator communicates with decentralized orchestration agents over TCP
+// using newline-delimited JSON messages (RC-L carries coordinating
+// information and performance reports; the same channel carries the
+// monitoring summaries of RC-M).
+//
+// The protocol is period-synchronous, mirroring Algorithm 1:
+//
+//	agent → hub:  register{ra}
+//	hub → agent:  coordination{period, z, y}
+//	agent → hub:  perf_report{ra, period, perf}
+//	hub → agent:  shutdown{}
+package rcnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	MsgRegister     MsgType = "register"
+	MsgCoordination MsgType = "coordination"
+	MsgPerfReport   MsgType = "perf_report"
+	MsgShutdown     MsgType = "shutdown"
+)
+
+// Envelope is the wire form of every message.
+type Envelope struct {
+	Type   MsgType   `json:"type"`
+	RA     int       `json:"ra,omitempty"`
+	Period int       `json:"period,omitempty"`
+	Z      []float64 `json:"z,omitempty"`
+	Y      []float64 `json:"y,omitempty"`
+	Perf   []float64 `json:"perf,omitempty"`
+	Queues []int     `json:"queues,omitempty"` // RC-M monitoring payload
+}
+
+// maxLineBytes bounds a single protocol frame to keep a malicious or broken
+// peer from exhausting memory.
+const maxLineBytes = 1 << 20
+
+// writeMsg sends one envelope as a JSON line.
+func writeMsg(w io.Writer, e Envelope) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("rcnet: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("rcnet: write: %w", err)
+	}
+	return nil
+}
+
+// readMsg reads one JSON line.
+func readMsg(br *bufio.Reader) (Envelope, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return Envelope{}, err
+	}
+	if len(line) > maxLineBytes {
+		return Envelope{}, fmt.Errorf("rcnet: frame too large (%d bytes)", len(line))
+	}
+	var e Envelope
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Envelope{}, fmt.Errorf("rcnet: malformed frame: %w", err)
+	}
+	return e, nil
+}
+
+// deadline applies a read/write deadline when timeout > 0.
+func deadline(c net.Conn, timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}

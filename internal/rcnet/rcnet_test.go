@@ -1,0 +1,258 @@
+package rcnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeslice/internal/admm"
+	"edgeslice/internal/baseline"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/rl"
+)
+
+const testTimeout = 5 * time.Second
+
+func TestHubValidation(t *testing.T) {
+	if _, err := NewHub("127.0.0.1:0", 0, 1); err == nil {
+		t.Error("zero slices should fail")
+	}
+	if _, err := NewHub("127.0.0.1:0", 1, 0); err == nil {
+		t.Error("zero RAs should fail")
+	}
+}
+
+func TestRegisterBroadcastCollect(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := h.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ra := 0; ra < 2; ra++ {
+		wg.Add(1)
+		go func(ra int) {
+			defer wg.Done()
+			c, err := DialAgent(h.Addr(), ra, testTimeout)
+			if err != nil {
+				t.Errorf("dial RA %d: %v", ra, err)
+				return
+			}
+			defer c.Close()
+			period, z, y, err := c.RecvCoordination(testTimeout)
+			if err != nil {
+				t.Errorf("recv RA %d: %v", ra, err)
+				return
+			}
+			if period != 0 || len(z) != 2 || len(y) != 2 {
+				t.Errorf("RA %d got period=%d z=%v y=%v", ra, period, z, y)
+				return
+			}
+			if err := c.ReportPerf(0, []float64{-1 - float64(ra), -2 - float64(ra)}, []int{0, 0}); err != nil {
+				t.Errorf("report RA %d: %v", ra, err)
+			}
+		}(ra)
+	}
+
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	z := [][]float64{{0, 0}, {0, 0}}
+	y := [][]float64{{0, 0}, {0, 0}}
+	if err := h.Broadcast(0, z, y); err != nil {
+		t.Fatal(err)
+	}
+	perf, err := h.Collect(0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if perf[0][0] != -1 || perf[0][1] != -2 || perf[1][0] != -2 || perf[1][1] != -3 {
+		t.Errorf("perf = %v", perf)
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+	c1, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Second registration for the same RA: connection should be closed.
+	c2, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, _, err := c2.RecvCoordination(500 * time.Millisecond); err == nil {
+		t.Error("duplicate registration should not receive coordination")
+	}
+}
+
+func TestMalformedFrameDropsAgent(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+	conn, err := net.Dial("tcp", h.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitRegistered(300 * time.Millisecond); err == nil {
+		t.Error("malformed registration should not register")
+	}
+}
+
+func TestCollectTimesOutOnSilentAgent(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+	c, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Broadcast(0, [][]float64{{0}}, [][]float64{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Collect(0, 200*time.Millisecond); err == nil {
+		t.Error("collect should time out when the agent never reports")
+	}
+}
+
+func TestAgentDisconnectMidRound(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+	c0, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := DialAgent(h.Addr(), 1, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// RA 1 dies before the round.
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the hub notice
+	err = h.Broadcast(0, [][]float64{{0, 0}}, [][]float64{{0, 0}})
+	if err == nil {
+		t.Error("broadcast should fail when an RA is gone")
+	}
+}
+
+// End-to-end: full distributed Algorithm 1 over real TCP with simulated
+// environments and the TARO policy (no training needed for a protocol test).
+func TestDistributedOrchestration(t *testing.T) {
+	const (
+		numSlices = 2
+		numRAs    = 2
+		periods   = 3
+	)
+	h, err := NewHub("127.0.0.1:0", numSlices, numRAs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+
+	taro := rl.AgentFunc(func([]float64) []float64 { return nil }) // replaced below
+	_ = taro
+
+	var wg sync.WaitGroup
+	agentErrs := make(chan error, numRAs)
+	for ra := 0; ra < numRAs; ra++ {
+		wg.Add(1)
+		go func(ra int) {
+			defer wg.Done()
+			envCfg := netsim.DefaultExperimentConfig()
+			envCfg.TrainCoordRandom = false
+			envCfg.Seed = int64(ra + 1)
+			env, err := netsim.New(envCfg)
+			if err != nil {
+				agentErrs <- err
+				return
+			}
+			env.Reset()
+			policy := rl.AgentFunc(func([]float64) []float64 {
+				act, err := baseline.TARO(env.QueueLens(), netsim.NumResources)
+				if err != nil {
+					return make([]float64, env.ActionDim())
+				}
+				return act
+			})
+			c, err := DialAgent(h.Addr(), ra, testTimeout)
+			if err != nil {
+				agentErrs <- err
+				return
+			}
+			defer c.Close()
+			if err := RunAgent(c, env, policy, testTimeout); err != nil {
+				agentErrs <- err
+			}
+		}(ra)
+	}
+
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := admm.NewCoordinator(admm.Config{
+		NumSlices: numSlices, NumRAs: numRAs, Rho: 1.0,
+		UminPerSlice: []float64{-50, -50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, err := RunCoordinator(h, coord, periods, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != periods {
+		t.Errorf("history has %d periods, want %d", len(history), periods)
+	}
+	if err := h.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(agentErrs)
+	for err := range agentErrs {
+		if err != nil && !errors.Is(err, ErrShutdown) {
+			t.Errorf("agent error: %v", err)
+		}
+	}
+	if coord.Iterations() != periods {
+		t.Errorf("coordinator ran %d iterations, want %d", coord.Iterations(), periods)
+	}
+}

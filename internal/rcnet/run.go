@@ -1,0 +1,63 @@
+package rcnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"edgeslice/internal/admm"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/rl"
+)
+
+// RunCoordinator drives Algorithm 1 from the hub side for n periods: it
+// broadcasts (Z, Y), collects Σ_t U from every RA, and performs the ADMM
+// update. It returns the per-period performance grids.
+func RunCoordinator(h *Hub, coord *admm.Coordinator, periods int, timeout time.Duration) ([][][]float64, error) {
+	if periods <= 0 {
+		return nil, fmt.Errorf("rcnet: periods %d must be positive", periods)
+	}
+	var history [][][]float64
+	for p := 0; p < periods; p++ {
+		if err := h.Broadcast(p, coord.Z(), coord.Y()); err != nil {
+			return history, fmt.Errorf("rcnet: period %d: %w", p, err)
+		}
+		perf, err := h.Collect(p, timeout)
+		if err != nil {
+			return history, fmt.Errorf("rcnet: period %d: %w", p, err)
+		}
+		if err := coord.Update(perf); err != nil {
+			return history, err
+		}
+		history = append(history, perf)
+	}
+	return history, nil
+}
+
+// RunAgent drives one RA from the agent side: for each coordination message
+// it installs (z, y), orchestrates T intervals with the policy, and reports
+// the period performance. It returns nil when the coordinator shuts the
+// session down.
+func RunAgent(c *AgentClient, env *netsim.RAEnv, agent rl.Agent, timeout time.Duration) error {
+	for {
+		period, z, y, err := c.RecvCoordination(timeout)
+		if err != nil {
+			if errors.Is(err, ErrShutdown) {
+				return nil
+			}
+			return err
+		}
+		if err := env.SetCoordination(z, y); err != nil {
+			return err
+		}
+		for t := 0; t < env.Config().T; t++ {
+			act := agent.Act(env.State())
+			if _, err := env.StepInterval(act); err != nil {
+				return err
+			}
+		}
+		if err := c.ReportPerf(period, env.PeriodPerf(), env.QueueLens()); err != nil {
+			return err
+		}
+	}
+}

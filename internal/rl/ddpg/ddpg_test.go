@@ -1,0 +1,97 @@
+package ddpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgeslice/internal/rl"
+	"edgeslice/internal/rl/rltest"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hidden = 32
+	cfg.BatchSize = 32
+	cfg.WarmupSteps = 100
+	cfg.NoiseDecay = 0.999
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2, DefaultConfig()); err == nil {
+		t.Error("state dim 0 should fail")
+	}
+	if _, err := New(2, 0, DefaultConfig()); err == nil {
+		t.Error("action dim 0 should fail")
+	}
+	bad := DefaultConfig()
+	bad.BatchSize = 0
+	if _, err := New(2, 2, bad); err == nil {
+		t.Error("batch size 0 should fail")
+	}
+}
+
+func TestActBounds(t *testing.T) {
+	a, err := New(3, 2, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9)) //nolint:gosec // test
+	for i := 0; i < 200; i++ {
+		state := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		for _, fn := range []func([]float64) []float64{a.Act, a.ActExplore} {
+			for _, v := range fn(state) {
+				if v < 0 || v > 1 {
+					t.Fatalf("action %v out of [0,1]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateNoopBeforeWarmup(t *testing.T) {
+	a, err := New(2, 1, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(rl.Transition{State: []float64{0, 0}, Action: []float64{0.5}, NextState: []float64{0, 0}})
+	if err := a.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates() != 0 {
+		t.Error("update should be a no-op before warmup")
+	}
+}
+
+func TestDDPGLearnsTargetTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(11)) //nolint:gosec // test
+	env := rltest.NewTargetEnv(rng, 2, 2, 64)
+	agent, err := New(env.StateDim(), env.ActionDim(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRng := rand.New(rand.NewSource(101)) //nolint:gosec // test
+	before := rltest.EvalLoss(evalRng, env, agent, 200)
+	if err := agent.Train(env, 3000); err != nil {
+		t.Fatal(err)
+	}
+	after := rltest.EvalLoss(evalRng, env, agent, 200)
+	if after >= before*0.5 {
+		t.Errorf("DDPG did not learn: loss %v -> %v", before, after)
+	}
+	random := rltest.EvalLoss(evalRng, env, &rltest.RandomAgent{Rng: evalRng, ADim: 2}, 200)
+	if after >= random {
+		t.Errorf("trained DDPG (%v) should beat random (%v)", after, random)
+	}
+}
+
+func TestQEvaluation(t *testing.T) {
+	a, err := New(2, 1, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := a.Q([]float64{0.1, 0.2}, []float64{0.5})
+	if q != a.Q([]float64{0.1, 0.2}, []float64{0.5}) {
+		t.Error("Q should be deterministic")
+	}
+}

@@ -1,0 +1,45 @@
+// Package rl provides the reinforcement-learning substrate shared by the
+// DDPG, SAC, PPO, TRPO and VPG trainers: the environment abstraction,
+// experience replay, exploration noise, Gaussian policies, and
+// advantage/return estimation.
+//
+// The paper trains its orchestration agents with DDPG and compares against
+// the other four techniques in Fig. 10(b); all five are implemented on this
+// substrate.
+package rl
+
+// Env is a continuous-action reinforcement-learning environment with the
+// standard observe/act/reward interaction of Sec. IV-B.
+type Env interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() []float64
+	// Step applies an action and returns the next state, the reward, and
+	// whether the episode ended.
+	Step(action []float64) (next []float64, reward float64, done bool)
+	// StateDim is the length of state vectors.
+	StateDim() int
+	// ActionDim is the length of action vectors. Actions are expected in
+	// [0, 1] per dimension (the paper's sigmoid output layer).
+	ActionDim() int
+}
+
+// Agent maps states to deterministic actions; it is what training produces
+// and what the orchestration loop consumes.
+type Agent interface {
+	Act(state []float64) []float64
+}
+
+// AgentFunc adapts a plain function to the Agent interface.
+type AgentFunc func(state []float64) []float64
+
+// Act implements Agent.
+func (f AgentFunc) Act(state []float64) []float64 { return f(state) }
+
+// Transition is one (s, a, r, s') experience tuple stored in replay memory.
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+}

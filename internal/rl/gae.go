@@ -1,0 +1,60 @@
+package rl
+
+import "math"
+
+// DiscountedReturns computes reward-to-go G_t = Σ_{k>=t} γ^{k-t} r_k for a
+// single trajectory. The terminal value bootstraps the tail (0 for a true
+// episode end).
+func DiscountedReturns(rewards []float64, gamma, terminalValue float64) []float64 {
+	out := make([]float64, len(rewards))
+	run := terminalValue
+	for t := len(rewards) - 1; t >= 0; t-- {
+		run = rewards[t] + gamma*run
+		out[t] = run
+	}
+	return out
+}
+
+// GAE computes generalized advantage estimates (Schulman et al., 2016) for
+// one trajectory given per-step rewards and value estimates. values must
+// have len(rewards)+1 entries: V(s_0..s_T) with the final entry the
+// bootstrap value of the state after the last reward.
+func GAE(rewards, values []float64, gamma, lambda float64) []float64 {
+	if len(values) != len(rewards)+1 {
+		panic("rl: GAE needs len(values) == len(rewards)+1")
+	}
+	adv := make([]float64, len(rewards))
+	var run float64
+	for t := len(rewards) - 1; t >= 0; t-- {
+		delta := rewards[t] + gamma*values[t+1] - values[t]
+		run = delta + gamma*lambda*run
+		adv[t] = run
+	}
+	return adv
+}
+
+// Normalize rescales xs in place to zero mean and unit variance; it is a
+// no-op for fewer than two samples or zero variance.
+func Normalize(xs []float64) {
+	if len(xs) < 2 {
+		return
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var varsum float64
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	variance := varsum / float64(len(xs))
+	if variance <= 0 {
+		return
+	}
+	std := math.Sqrt(variance)
+	for i := range xs {
+		xs[i] = (xs[i] - mean) / std
+	}
+}

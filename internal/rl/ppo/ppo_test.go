@@ -1,0 +1,41 @@
+package ppo
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgeslice/internal/rl/rltest"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, DefaultConfig()); err == nil {
+		t.Error("invalid dims should fail")
+	}
+	bad := DefaultConfig()
+	bad.Horizon = 0
+	if _, err := New(2, 1, bad); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestPPOLearnsTargetTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(21)) //nolint:gosec // test
+	env := rltest.NewTargetEnv(rng, 2, 2, 64)
+	cfg := DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Horizon = 128
+	cfg.PolicyLR = 1e-3
+	agent, err := New(env.StateDim(), env.ActionDim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRng := rand.New(rand.NewSource(101)) //nolint:gosec // test
+	before := rltest.EvalLoss(evalRng, env, agent, 200)
+	if err := agent.Train(env, 6000); err != nil {
+		t.Fatal(err)
+	}
+	after := rltest.EvalLoss(evalRng, env, agent, 200)
+	if after >= before*0.7 {
+		t.Errorf("PPO did not learn: loss %v -> %v", before, after)
+	}
+}

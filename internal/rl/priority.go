@@ -1,0 +1,124 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PrioritizedReplay is a proportional prioritized experience replay buffer
+// (Schaul et al., 2016), provided as an extension beyond the paper's
+// uniform replay: transitions are sampled with probability proportional to
+// priority^alpha, and importance-sampling weights correct the induced bias.
+// Priorities are typically TD errors, updated after each learning step.
+type PrioritizedReplay struct {
+	capacity int
+	alpha    float64
+
+	buf        []Transition
+	priorities []float64
+	next       int
+	maxPrio    float64
+}
+
+// NewPrioritizedReplay creates a buffer with the given capacity and
+// prioritization exponent alpha (0 = uniform).
+func NewPrioritizedReplay(capacity int, alpha float64) (*PrioritizedReplay, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("rl: invalid prioritized replay capacity %d", capacity)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("rl: negative prioritization exponent %v", alpha)
+	}
+	return &PrioritizedReplay{
+		capacity:   capacity,
+		alpha:      alpha,
+		buf:        make([]Transition, 0, capacity),
+		priorities: make([]float64, 0, capacity),
+		maxPrio:    1,
+	}, nil
+}
+
+// Add stores a transition with the current maximum priority so new
+// experience is sampled at least once soon.
+func (p *PrioritizedReplay) Add(t Transition) {
+	if len(p.buf) < p.capacity {
+		p.buf = append(p.buf, t)
+		p.priorities = append(p.priorities, p.maxPrio)
+		return
+	}
+	p.buf[p.next] = t
+	p.priorities[p.next] = p.maxPrio
+	p.next = (p.next + 1) % p.capacity
+}
+
+// Len returns the number of stored transitions.
+func (p *PrioritizedReplay) Len() int { return len(p.buf) }
+
+// Sample draws n transitions with probability ∝ priority^alpha. It returns
+// the transitions, their buffer indices (for UpdatePriorities), and their
+// importance-sampling weights normalized to max 1, computed with the given
+// beta exponent.
+func (p *PrioritizedReplay) Sample(rng *rand.Rand, n int, beta float64) ([]Transition, []int, []float64, error) {
+	if len(p.buf) == 0 {
+		return nil, nil, nil, fmt.Errorf("rl: sample from empty prioritized replay")
+	}
+	weights := make([]float64, len(p.buf))
+	var total float64
+	for i, prio := range p.priorities {
+		w := math.Pow(prio, p.alpha)
+		weights[i] = w
+		total += w
+	}
+	out := make([]Transition, n)
+	idx := make([]int, n)
+	isw := make([]float64, n)
+	maxW := 0.0
+	for k := 0; k < n; k++ {
+		r := rng.Float64() * total
+		var acc float64
+		chosen := len(p.buf) - 1
+		for i, w := range weights {
+			acc += w
+			if r <= acc {
+				chosen = i
+				break
+			}
+		}
+		out[k] = p.buf[chosen]
+		idx[k] = chosen
+		prob := weights[chosen] / total
+		isw[k] = math.Pow(float64(len(p.buf))*prob, -beta)
+		if isw[k] > maxW {
+			maxW = isw[k]
+		}
+	}
+	if maxW > 0 {
+		for k := range isw {
+			isw[k] /= maxW
+		}
+	}
+	return out, idx, isw, nil
+}
+
+// UpdatePriorities installs new priorities (e.g. |TD error| + ε) for the
+// sampled indices.
+func (p *PrioritizedReplay) UpdatePriorities(idx []int, prios []float64) error {
+	if len(idx) != len(prios) {
+		return fmt.Errorf("rl: %d indices vs %d priorities", len(idx), len(prios))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= len(p.priorities) {
+			return fmt.Errorf("rl: priority index %d out of range", i)
+		}
+		prio := prios[k]
+		if prio <= 0 {
+			prio = 1e-6
+		}
+		p.priorities[i] = prio
+		if prio > p.maxPrio {
+			p.maxPrio = prio
+		}
+	}
+	return nil
+}

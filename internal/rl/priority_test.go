@@ -1,0 +1,103 @@
+package rl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrioritizedReplayValidation(t *testing.T) {
+	if _, err := NewPrioritizedReplay(0, 0.6); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewPrioritizedReplay(4, -1); err == nil {
+		t.Error("negative alpha should fail")
+	}
+	p, err := NewPrioritizedReplay(4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := p.Sample(newRNG(), 1, 0.4); err == nil {
+		t.Error("sampling empty buffer should fail")
+	}
+}
+
+func TestPrioritizedSamplingBias(t *testing.T) {
+	p, err := NewPrioritizedReplay(2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Add(Transition{Reward: 1}) // index 0
+	p.Add(Transition{Reward: 2}) // index 1
+	if err := p.UpdatePriorities([]int{0, 1}, []float64{9, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRNG()
+	counts := map[float64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		trs, _, _, err := p.Sample(rng, 1, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[trs[0].Reward]++
+	}
+	// Priority 9 vs 1 -> ~90% of samples should be the first transition.
+	frac := float64(counts[1]) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("high-priority fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestImportanceWeightsNormalized(t *testing.T) {
+	p, _ := NewPrioritizedReplay(8, 0.6)
+	for i := 0; i < 8; i++ {
+		p.Add(Transition{Reward: float64(i)})
+	}
+	_ = p.UpdatePriorities([]int{0, 1, 2}, []float64{10, 5, 1})
+	_, _, isw, err := p.Sample(newRNG(), 16, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range isw {
+		if w <= 0 || w > 1+1e-12 {
+			t.Errorf("importance weight %v out of (0, 1]", w)
+		}
+	}
+}
+
+func TestUpdatePrioritiesValidation(t *testing.T) {
+	p, _ := NewPrioritizedReplay(4, 0.6)
+	p.Add(Transition{})
+	if err := p.UpdatePriorities([]int{0}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := p.UpdatePriorities([]int{9}, []float64{1}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	// Non-positive priorities are floored, not rejected.
+	if err := p.UpdatePriorities([]int{0}, []float64{0}); err != nil {
+		t.Errorf("zero priority should be floored: %v", err)
+	}
+}
+
+// Property: the buffer never exceeds capacity and eviction is FIFO.
+func TestPrioritizedCapacityProperty(t *testing.T) {
+	f := func(addsRaw uint8) bool {
+		p, err := NewPrioritizedReplay(8, 0.6)
+		if err != nil {
+			return false
+		}
+		adds := int(addsRaw)
+		for i := 0; i < adds; i++ {
+			p.Add(Transition{Reward: float64(i)})
+		}
+		want := adds
+		if want > 8 {
+			want = 8
+		}
+		return p.Len() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions with uniform
+// random sampling, the experience replay memory of Fig. 3.
+type ReplayBuffer struct {
+	capacity int
+	buf      []Transition
+	next     int
+	full     bool
+}
+
+// NewReplayBuffer returns a buffer holding at most capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: invalid replay capacity %d", capacity))
+	}
+	return &ReplayBuffer{capacity: capacity, buf: make([]Transition, 0, capacity)}
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if len(b.buf) < b.capacity {
+		b.buf = append(b.buf, t)
+		return
+	}
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % b.capacity
+	b.full = true
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int { return len(b.buf) }
+
+// Capacity returns the maximum number of transitions.
+func (b *ReplayBuffer) Capacity() int { return b.capacity }
+
+// Sample draws n transitions uniformly with replacement. It returns an
+// error if the buffer is empty.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) ([]Transition, error) {
+	if len(b.buf) == 0 {
+		return nil, fmt.Errorf("rl: sample from empty replay buffer")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.buf[rng.Intn(len(b.buf))]
+	}
+	return out, nil
+}

@@ -1,0 +1,296 @@
+// Package sac implements Soft Actor-Critic (Haarnoja et al., 2018), one of
+// the comparison training techniques in Fig. 10(b): twin Q critics with
+// target networks, a squashed-Gaussian reparameterized actor, and entropy
+// regularization with a fixed temperature.
+package sac
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// Config holds SAC hyper-parameters.
+type Config struct {
+	Hidden         int
+	ActorLR        float64
+	CriticLR       float64
+	Gamma          float64
+	Tau            float64
+	Alpha          float64 // entropy temperature
+	BatchSize      int
+	ReplayCapacity int
+	WarmupSteps    int
+	Seed           int64
+}
+
+// DefaultConfig returns standard SAC defaults with the paper's network
+// sizes.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:         128,
+		ActorLR:        1e-3,
+		CriticLR:       1e-3,
+		Gamma:          0.99,
+		Tau:            5e-3,
+		Alpha:          0.05,
+		BatchSize:      128,
+		ReplayCapacity: 100_000,
+		WarmupSteps:    500,
+		Seed:           1,
+	}
+}
+
+const (
+	logStdMin = -5
+	logStdMax = 2
+)
+
+// Agent is a SAC learner.
+type Agent struct {
+	cfg Config
+	rng *rand.Rand
+
+	actor    *nn.Network // outputs [mean..., logstd...] with identity heads
+	q1, q2   *nn.Network
+	q1T, q2T *nn.Network
+
+	actorOpt, q1Opt, q2Opt *nn.Adam
+
+	replay *rl.ReplayBuffer
+
+	stateDim, actionDim int
+}
+
+var _ rl.Agent = (*Agent)(nil)
+
+// New creates a SAC agent.
+func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
+	if stateDim <= 0 || actionDim <= 0 || cfg.Hidden <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("sac: invalid config state=%d action=%d %+v", stateDim, actionDim, cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	newQ := func() *nn.Network {
+		return nn.NewMLP(rng, stateDim+actionDim,
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+			nn.LayerSpec{Out: 1, Act: nn.ActIdentity},
+		)
+	}
+	actor := nn.NewMLP(rng, stateDim,
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+		nn.LayerSpec{Out: 2 * actionDim, Act: nn.ActIdentity},
+	)
+	q1 := newQ()
+	q2 := newQ()
+	return &Agent{
+		cfg:      cfg,
+		rng:      rng,
+		actor:    actor,
+		q1:       q1,
+		q2:       q2,
+		q1T:      q1.Clone(),
+		q2T:      q2.Clone(),
+		actorOpt: nn.NewAdam(cfg.ActorLR),
+		q1Opt:    nn.NewAdam(cfg.CriticLR),
+		q2Opt:    nn.NewAdam(cfg.CriticLR),
+		replay:   rl.NewReplayBuffer(cfg.ReplayCapacity),
+		stateDim: stateDim, actionDim: actionDim,
+	}, nil
+}
+
+// headSplit splits the actor head into mean and clamped log-std.
+func (a *Agent) headSplit(head []float64) (mean, logStd []float64) {
+	mean = head[:a.actionDim]
+	logStd = make([]float64, a.actionDim)
+	for i := range logStd {
+		logStd[i] = clamp(head[a.actionDim+i], logStdMin, logStdMax)
+	}
+	return mean, logStd
+}
+
+// squash maps a pre-squash value u to an action in [0,1].
+func squash(u float64) float64 { return 0.5 * (math.Tanh(u) + 1) }
+
+// Act implements rl.Agent with the deterministic squashed mean.
+func (a *Agent) Act(state []float64) []float64 {
+	head := a.actor.Forward1(state)
+	mean, _ := a.headSplit(head)
+	out := make([]float64, a.actionDim)
+	for i := range out {
+		out[i] = squash(mean[i])
+	}
+	return out
+}
+
+// sampleAction draws a reparameterized action; it returns the action, the
+// pre-squash values u, the noise eps, and log π(a|s).
+func (a *Agent) sampleAction(state []float64) (action, u, eps []float64, logP float64) {
+	head := a.actor.Forward1(state)
+	mean, logStd := a.headSplit(head)
+	action = make([]float64, a.actionDim)
+	u = make([]float64, a.actionDim)
+	eps = make([]float64, a.actionDim)
+	for i := range action {
+		eps[i] = a.rng.NormFloat64()
+		std := math.Exp(logStd[i])
+		u[i] = mean[i] + std*eps[i]
+		action[i] = squash(u[i])
+		th := math.Tanh(u[i])
+		logP += -0.5*eps[i]*eps[i] - logStd[i] - 0.5*math.Log(2*math.Pi)
+		logP -= math.Log(0.5*(1-th*th) + 1e-8)
+	}
+	return action, u, eps, logP
+}
+
+// Observe stores a transition.
+func (a *Agent) Observe(t rl.Transition) { a.replay.Add(t) }
+
+// Update performs one SAC gradient update (both critics, actor, targets).
+func (a *Agent) Update() error {
+	if a.replay.Len() < a.cfg.WarmupSteps || a.replay.Len() < 2 {
+		return nil
+	}
+	batch, err := a.replay.Sample(a.rng, a.cfg.BatchSize)
+	if err != nil {
+		return fmt.Errorf("sac: %w", err)
+	}
+	n := len(batch)
+
+	// ---- Critic targets: y = r + γ(min Q'(s',ã') − α·logπ(ã'|s')). ----
+	targets := make([]float64, n)
+	for i, tr := range batch {
+		if tr.Done {
+			targets[i] = tr.Reward
+			continue
+		}
+		na, _, _, nlp := a.sampleAction(tr.NextState)
+		in := concat(tr.NextState, na)
+		q1 := a.q1T.Forward1(in)[0]
+		q2 := a.q2T.Forward1(in)[0]
+		targets[i] = tr.Reward + a.cfg.Gamma*(math.Min(q1, q2)-a.cfg.Alpha*nlp)
+	}
+
+	criticIn := nn.NewMatrix(n, a.stateDim+a.actionDim)
+	for i, tr := range batch {
+		row := criticIn.Row(i)
+		copy(row, tr.State)
+		copy(row[a.stateDim:], tr.Action)
+	}
+	for _, cr := range []struct {
+		net *nn.Network
+		opt *nn.Adam
+	}{{a.q1, a.q1Opt}, {a.q2, a.q2Opt}} {
+		out := cr.net.Forward(criticIn)
+		grad := nn.NewMatrix(n, 1)
+		for i := range targets {
+			grad.Set(i, 0, (out.At(i, 0)-targets[i])/float64(n))
+		}
+		cr.net.ZeroGrad()
+		cr.net.Backward(grad)
+		cr.opt.Step(cr.net)
+	}
+
+	// ---- Actor update (reparameterized, per-sample analytic grads). ----
+	headGrad := nn.NewMatrix(n, 2*a.actionDim)
+	states := make([][]float64, n)
+	for i, tr := range batch {
+		states[i] = tr.State
+	}
+	for i, tr := range batch {
+		action, u, eps, _ := a.sampleAction(tr.State)
+		in := concat(tr.State, action)
+		q1v := a.q1.Forward1(in)[0]
+		q2v := a.q2.Forward1(in)[0]
+		qNet := a.q1
+		if q2v < q1v {
+			qNet = a.q2
+		}
+		// dQ/da via critic input gradients.
+		qNet.ZeroGrad()
+		out := qNet.Forward(nn.FromRows([][]float64{in}))
+		g := nn.NewMatrix(out.Rows, 1)
+		g.Set(0, 0, 1)
+		dIn := qNet.Backward(g)
+		qNet.ZeroGrad()
+		dQda := dIn.Row(0)[a.stateDim:]
+
+		head := a.actor.Forward1(tr.State)
+		_, logStd := a.headSplit(head)
+		row := headGrad.Row(i)
+		for d := 0; d < a.actionDim; d++ {
+			th := math.Tanh(u[d])
+			dadU := 0.5 * (1 - th*th)
+			std := math.Exp(logStd[d])
+			// ∂L/∂µ  = α·2tanh(u) − dQ/da · da/du
+			row[d] = (a.cfg.Alpha*2*th - dQda[d]*dadU) / float64(n)
+			// ∂L/∂logσ = α(−1 + 2tanh(u)·σε) − dQ/da·da/du·σε,
+			// zeroed when the clamp is active.
+			raw := head[a.actionDim+d]
+			if raw > logStdMin && raw < logStdMax {
+				row[a.actionDim+d] = (a.cfg.Alpha*(-1+2*th*std*eps[d]) - dQda[d]*dadU*std*eps[d]) / float64(n)
+			}
+		}
+	}
+	a.actor.ZeroGrad()
+	a.actor.Forward(nn.FromRows(states))
+	a.actor.Backward(headGrad)
+	nn.ClipGrads(a.actor, 5)
+	a.actorOpt.Step(a.actor)
+
+	a.q1T.SoftUpdate(a.q1, a.cfg.Tau)
+	a.q2T.SoftUpdate(a.q2, a.cfg.Tau)
+	return nil
+}
+
+// Train runs the SAC interaction loop for the given number of env steps.
+func (a *Agent) Train(env rl.Env, steps int) error {
+	state := env.Reset()
+	for i := 0; i < steps; i++ {
+		var action []float64
+		if a.replay.Len() < a.cfg.WarmupSteps {
+			action = randomAction(a.rng, a.actionDim)
+		} else {
+			action, _, _, _ = a.sampleAction(state)
+		}
+		next, reward, done := env.Step(action)
+		a.Observe(rl.Transition{State: state, Action: action, Reward: reward, NextState: next, Done: done})
+		if err := a.Update(); err != nil {
+			return err
+		}
+		if done {
+			state = env.Reset()
+		} else {
+			state = next
+		}
+	}
+	return nil
+}
+
+func randomAction(rng *rand.Rand, dim int) []float64 {
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,58 @@
+package sac
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgeslice/internal/rl/rltest"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, DefaultConfig()); err == nil {
+		t.Error("invalid dims should fail")
+	}
+}
+
+func TestActBounds(t *testing.T) {
+	a, err := New(2, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5)) //nolint:gosec // test
+	for i := 0; i < 100; i++ {
+		state := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		for _, v := range a.Act(state) {
+			if v < 0 || v > 1 {
+				t.Fatalf("deterministic action %v out of [0,1]", v)
+			}
+		}
+		act, _, _, _ := a.sampleAction(state)
+		for _, v := range act {
+			if v < 0 || v > 1 {
+				t.Fatalf("sampled action %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSACLearnsTargetTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(61)) //nolint:gosec // test
+	env := rltest.NewTargetEnv(rng, 2, 2, 64)
+	cfg := DefaultConfig()
+	cfg.Hidden = 32
+	cfg.BatchSize = 32
+	cfg.WarmupSteps = 200
+	agent, err := New(env.StateDim(), env.ActionDim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRng := rand.New(rand.NewSource(101)) //nolint:gosec // test
+	before := rltest.EvalLoss(evalRng, env, agent, 200)
+	if err := agent.Train(env, 3000); err != nil {
+		t.Fatal(err)
+	}
+	after := rltest.EvalLoss(evalRng, env, agent, 200)
+	if after >= before*0.7 {
+		t.Errorf("SAC did not learn: loss %v -> %v", before, after)
+	}
+}

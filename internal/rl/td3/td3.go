@@ -1,0 +1,268 @@
+// Package td3 implements Twin Delayed Deep Deterministic policy gradient
+// (Fujimoto et al., 2018), the direct successor of the DDPG algorithm the
+// paper trains its agents with. It is provided as an extension beyond the
+// paper's Fig. 10(b) comparison set: twin critics with clipped double-Q
+// targets, target-policy smoothing, and delayed actor updates address
+// DDPG's overestimation bias with the same interaction interface.
+package td3
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// Config holds TD3 hyper-parameters.
+type Config struct {
+	Hidden         int
+	ActorLR        float64
+	CriticLR       float64
+	Gamma          float64
+	Tau            float64
+	BatchSize      int
+	ReplayCapacity int
+	WarmupSteps    int
+	PolicyDelay    int     // actor updates once per this many critic updates
+	TargetNoise    float64 // target-policy smoothing noise std
+	TargetClip     float64 // smoothing noise clip
+	NoiseStd       float64 // exploration noise
+	NoiseDecay     float64
+	NoiseMin       float64
+	Seed           int64
+}
+
+// DefaultConfig returns standard TD3 defaults aligned with the repository's
+// CI-scale DDPG settings.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:         32,
+		ActorLR:        1e-3,
+		CriticLR:       1e-3,
+		Gamma:          0.99,
+		Tau:            5e-3,
+		BatchSize:      64,
+		ReplayCapacity: 100_000,
+		WarmupSteps:    300,
+		PolicyDelay:    2,
+		TargetNoise:    0.1,
+		TargetClip:     0.3,
+		NoiseStd:       1.0,
+		NoiseDecay:     0.9995,
+		NoiseMin:       0.01,
+		Seed:           1,
+	}
+}
+
+// Agent is a TD3 learner.
+type Agent struct {
+	cfg Config
+	rng *rand.Rand
+
+	actor, actorT  *nn.Network
+	q1, q2         *nn.Network
+	q1T, q2T       *nn.Network
+	actorOpt       *nn.Adam
+	q1Opt, q2Opt   *nn.Adam
+	replay         *rl.ReplayBuffer
+	noise          *rl.GaussianNoise
+	stateDim, aDim int
+	updates        int
+}
+
+var _ rl.Agent = (*Agent)(nil)
+
+// New creates a TD3 agent.
+func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
+	if stateDim <= 0 || actionDim <= 0 || cfg.Hidden <= 0 || cfg.BatchSize <= 0 || cfg.PolicyDelay <= 0 {
+		return nil, fmt.Errorf("td3: invalid config state=%d action=%d %+v", stateDim, actionDim, cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	actor := nn.NewMLP(rng, stateDim,
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+		nn.LayerSpec{Out: actionDim, Act: nn.ActSigmoid},
+	)
+	out := actor.Layers[len(actor.Layers)-1]
+	for i := range out.W.Data {
+		out.W.Data[i] *= 0.1 // start near the sigmoid's linear region
+	}
+	newQ := func() *nn.Network {
+		return nn.NewMLP(rng, stateDim+actionDim,
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
+			nn.LayerSpec{Out: 1, Act: nn.ActIdentity},
+		)
+	}
+	q1, q2 := newQ(), newQ()
+	return &Agent{
+		cfg:      cfg,
+		rng:      rng,
+		actor:    actor,
+		actorT:   actor.Clone(),
+		q1:       q1,
+		q2:       q2,
+		q1T:      q1.Clone(),
+		q2T:      q2.Clone(),
+		actorOpt: nn.NewAdam(cfg.ActorLR),
+		q1Opt:    nn.NewAdam(cfg.CriticLR),
+		q2Opt:    nn.NewAdam(cfg.CriticLR),
+		replay:   rl.NewReplayBuffer(cfg.ReplayCapacity),
+		noise:    &rl.GaussianNoise{Std: cfg.NoiseStd, Decay: cfg.NoiseDecay, Min: cfg.NoiseMin},
+		stateDim: stateDim,
+		aDim:     actionDim,
+	}, nil
+}
+
+// Act implements rl.Agent.
+func (a *Agent) Act(state []float64) []float64 { return a.actor.Forward1(state) }
+
+// ActExplore returns an exploration action (uniform during warmup).
+func (a *Agent) ActExplore(state []float64) []float64 {
+	if a.replay.Len() < a.cfg.WarmupSteps {
+		act := make([]float64, a.aDim)
+		for i := range act {
+			act[i] = a.rng.Float64()
+		}
+		return act
+	}
+	act := a.actor.Forward1(state)
+	n := a.noise.Sample(a.rng, a.aDim)
+	for i := range act {
+		act[i] = clamp01(act[i] + n[i])
+	}
+	return act
+}
+
+// Observe stores a transition.
+func (a *Agent) Observe(t rl.Transition) { a.replay.Add(t) }
+
+// Update performs one TD3 update: both critics every call, the actor and
+// targets every PolicyDelay calls.
+func (a *Agent) Update() error {
+	if a.replay.Len() < a.cfg.WarmupSteps || a.replay.Len() < 2 {
+		return nil
+	}
+	batch, err := a.replay.Sample(a.rng, a.cfg.BatchSize)
+	if err != nil {
+		return fmt.Errorf("td3: %w", err)
+	}
+	n := len(batch)
+
+	// Targets with clipped double-Q and target-policy smoothing.
+	targets := make([]float64, n)
+	for i, tr := range batch {
+		if tr.Done {
+			targets[i] = tr.Reward
+			continue
+		}
+		na := a.actorT.Forward1(tr.NextState)
+		for d := range na {
+			eps := a.rng.NormFloat64() * a.cfg.TargetNoise
+			eps = math.Max(-a.cfg.TargetClip, math.Min(a.cfg.TargetClip, eps))
+			na[d] = clamp01(na[d] + eps)
+		}
+		in := concat(tr.NextState, na)
+		q := math.Min(a.q1T.Forward1(in)[0], a.q2T.Forward1(in)[0])
+		targets[i] = tr.Reward + a.cfg.Gamma*q
+	}
+
+	criticIn := nn.NewMatrix(n, a.stateDim+a.aDim)
+	for i, tr := range batch {
+		row := criticIn.Row(i)
+		copy(row, tr.State)
+		copy(row[a.stateDim:], tr.Action)
+	}
+	for _, cr := range []struct {
+		net *nn.Network
+		opt *nn.Adam
+	}{{a.q1, a.q1Opt}, {a.q2, a.q2Opt}} {
+		out := cr.net.Forward(criticIn)
+		grad := nn.NewMatrix(n, 1)
+		for i := range targets {
+			grad.Set(i, 0, (out.At(i, 0)-targets[i])/float64(n))
+		}
+		cr.net.ZeroGrad()
+		cr.net.Backward(grad)
+		cr.opt.Step(cr.net)
+	}
+	a.updates++
+	if a.updates%a.cfg.PolicyDelay != 0 {
+		return nil
+	}
+
+	// Delayed actor update via dQ1/da.
+	states := make([][]float64, n)
+	for i, tr := range batch {
+		states[i] = tr.State
+	}
+	stateBatch := nn.FromRows(states)
+	actions := a.actor.Forward(stateBatch)
+	actIn := nn.NewMatrix(n, a.stateDim+a.aDim)
+	for i := range batch {
+		row := actIn.Row(i)
+		copy(row, states[i])
+		copy(row[a.stateDim:], actions.Row(i))
+	}
+	a.q1.ZeroGrad()
+	qa := a.q1.Forward(actIn)
+	ones := nn.NewMatrix(qa.Rows, 1)
+	for i := 0; i < qa.Rows; i++ {
+		ones.Set(i, 0, 1.0/float64(n))
+	}
+	dIn := a.q1.Backward(ones)
+	a.q1.ZeroGrad()
+	dAction := nn.NewMatrix(n, a.aDim)
+	for i := 0; i < n; i++ {
+		src := dIn.Row(i)[a.stateDim:]
+		dst := dAction.Row(i)
+		for k := range dst {
+			dst[k] = -src[k]
+		}
+	}
+	a.actor.ZeroGrad()
+	a.actor.Backward(dAction)
+	a.actorOpt.Step(a.actor)
+
+	a.actorT.SoftUpdate(a.actor, a.cfg.Tau)
+	a.q1T.SoftUpdate(a.q1, a.cfg.Tau)
+	a.q2T.SoftUpdate(a.q2, a.cfg.Tau)
+	return nil
+}
+
+// Train runs the interaction loop for the given number of env steps.
+func (a *Agent) Train(env rl.Env, steps int) error {
+	state := env.Reset()
+	for i := 0; i < steps; i++ {
+		action := a.ActExplore(state)
+		next, reward, done := env.Step(action)
+		a.Observe(rl.Transition{State: state, Action: action, Reward: reward, NextState: next, Done: done})
+		if err := a.Update(); err != nil {
+			return err
+		}
+		if done {
+			state = env.Reset()
+		} else {
+			state = next
+		}
+	}
+	return nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

@@ -1,0 +1,98 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"edgeslice/internal/nn"
+)
+
+func TestFitValueRegresses(t *testing.T) {
+	rng := newRNG()
+	net := NewValueNet(rng, 2, 16)
+	opt := nn.NewAdam(0.01)
+	// Targets: V(s) = 3*s0 - s1.
+	var states [][]float64
+	var targets []float64
+	for i := 0; i < 64; i++ {
+		s := []float64{rng.Float64(), rng.Float64()}
+		states = append(states, s)
+		targets = append(targets, 3*s[0]-s[1])
+	}
+	FitValue(net, opt, states, targets, 400)
+	vals := ValueBatch(net, states)
+	var mse float64
+	for i := range vals {
+		d := vals[i] - targets[i]
+		mse += d * d
+	}
+	mse /= float64(len(vals))
+	if mse > 0.05 {
+		t.Errorf("FitValue MSE %v too high", mse)
+	}
+}
+
+func TestFitValueEmptyNoop(t *testing.T) {
+	rng := newRNG()
+	net := NewValueNet(rng, 2, 4)
+	before := net.FlattenParams()
+	FitValue(net, nn.NewAdam(0.01), nil, nil, 10)
+	after := net.FlattenParams()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("FitValue on empty data should not touch parameters")
+		}
+	}
+	if ValueBatch(net, nil) != nil {
+		t.Error("ValueBatch of empty states should be nil")
+	}
+}
+
+type countingEnv struct {
+	steps int
+	sdim  int
+	adim  int
+}
+
+func (e *countingEnv) Reset() []float64 { return make([]float64, e.sdim) }
+func (e *countingEnv) Step(a []float64) ([]float64, float64, bool) {
+	e.steps++
+	return make([]float64, e.sdim), -1, e.steps%7 == 0
+}
+func (e *countingEnv) StateDim() int  { return e.sdim }
+func (e *countingEnv) ActionDim() int { return e.adim }
+
+func TestRolloutShapes(t *testing.T) {
+	rng := newRNG()
+	env := &countingEnv{sdim: 3, adim: 2}
+	policy := NewGaussianPolicy(rng, 3, 2, 8, 0.3)
+	states, actions, rewards, final := Rollout(rng, env, policy, 20)
+	if len(states) != 20 || len(actions) != 20 || len(rewards) != 20 {
+		t.Fatalf("rollout lengths %d/%d/%d, want 20", len(states), len(actions), len(rewards))
+	}
+	if len(final) != 3 {
+		t.Errorf("final state dim %d, want 3", len(final))
+	}
+	for _, a := range actions {
+		for _, v := range a {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("rollout action %v out of bounds", v)
+			}
+		}
+	}
+	if env.steps != 20 {
+		t.Errorf("env stepped %d times, want 20", env.steps)
+	}
+}
+
+func TestAgentFunc(t *testing.T) {
+	called := false
+	var a Agent = AgentFunc(func(s []float64) []float64 {
+		called = true
+		return s
+	})
+	out := a.Act([]float64{1, 2})
+	if !called || len(out) != 2 {
+		t.Error("AgentFunc should delegate")
+	}
+}

@@ -1,0 +1,36 @@
+package vpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgeslice/internal/rl/rltest"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 1, DefaultConfig()); err == nil {
+		t.Error("invalid dims should fail")
+	}
+}
+
+func TestVPGLearnsTargetTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(31)) //nolint:gosec // test
+	env := rltest.NewTargetEnv(rng, 2, 2, 64)
+	cfg := DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Horizon = 128
+	cfg.PolicyLR = 5e-3
+	agent, err := New(env.StateDim(), env.ActionDim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRng := rand.New(rand.NewSource(101)) //nolint:gosec // test
+	before := rltest.EvalLoss(evalRng, env, agent, 200)
+	if err := agent.Train(env, 20000); err != nil {
+		t.Fatal(err)
+	}
+	after := rltest.EvalLoss(evalRng, env, agent, 200)
+	if after >= before*0.8 {
+		t.Errorf("VPG did not learn: loss %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,113 @@
+// Package slicemgr implements the slice request (SR) interface of Sec. V-D:
+// slice tenants request and configure network slices and make or modify
+// their service-level agreements with the network operator; the SLAs are
+// then enforced during resource orchestration (they become the Umin vector
+// of the performance coordinator).
+package slicemgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SLA is a tenant's service-level agreement: the minimum network-wide
+// cumulative performance per period (Eq. 2; the paper uses Umin = −50).
+type SLA struct {
+	UminPerPeriod float64
+}
+
+// Slice is a provisioned network slice.
+type Slice struct {
+	ID     int
+	Tenant string
+	App    string
+	SLA    SLA
+}
+
+// Manager owns the slice lifecycle.
+type Manager struct {
+	mu     sync.Mutex
+	slices map[int]*Slice
+	nextID int
+}
+
+// New creates an empty slice manager.
+func New() *Manager {
+	return &Manager{slices: make(map[int]*Slice)}
+}
+
+// Request provisions a new slice for a tenant and returns its id.
+func (m *Manager) Request(tenant, app string, sla SLA) (int, error) {
+	if tenant == "" {
+		return 0, fmt.Errorf("slicemgr: empty tenant")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.slices[id] = &Slice{ID: id, Tenant: tenant, App: app, SLA: sla}
+	return id, nil
+}
+
+// ModifySLA updates a slice's SLA (tenants "can make and modify their
+// service-level agreements with network operator").
+func (m *Manager) ModifySLA(id int, sla SLA) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.slices[id]
+	if !ok {
+		return fmt.Errorf("slicemgr: unknown slice %d", id)
+	}
+	s.SLA = sla
+	return nil
+}
+
+// Release tears a slice down.
+func (m *Manager) Release(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.slices[id]; !ok {
+		return fmt.Errorf("slicemgr: unknown slice %d", id)
+	}
+	delete(m.slices, id)
+	return nil
+}
+
+// Get returns a copy of a slice.
+func (m *Manager) Get(id int) (Slice, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.slices[id]
+	if !ok {
+		return Slice{}, fmt.Errorf("slicemgr: unknown slice %d", id)
+	}
+	return *s, nil
+}
+
+// List returns all slices sorted by id.
+func (m *Manager) List() []Slice {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Slice, 0, len(m.slices))
+	for _, s := range m.slices {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// UminVector returns the SLA minimums ordered by slice id — the coordinator
+// configuration input. It returns an error if slice ids are not the dense
+// range 0..n-1 expected by the orchestration arrays.
+func (m *Manager) UminVector() ([]float64, error) {
+	list := m.List()
+	out := make([]float64, len(list))
+	for i, s := range list {
+		if s.ID != i {
+			return nil, fmt.Errorf("slicemgr: non-contiguous slice ids (found %d at position %d)", s.ID, i)
+		}
+		out[i] = s.SLA.UminPerPeriod
+	}
+	return out, nil
+}

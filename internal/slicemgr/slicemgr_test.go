@@ -1,0 +1,83 @@
+package slicemgr
+
+import "testing"
+
+func TestLifecycle(t *testing.T) {
+	m := New()
+	id0, err := m.Request("tenant-a", "video-analytics", SLA{UminPerPeriod: -50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := m.Request("tenant-b", "iot", SLA{UminPerPeriod: -80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 {
+		t.Fatal("ids must be unique")
+	}
+	s, err := m.Get(id0)
+	if err != nil || s.Tenant != "tenant-a" {
+		t.Errorf("Get = %+v (%v)", s, err)
+	}
+	if err := m.ModifySLA(id0, SLA{UminPerPeriod: -20}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = m.Get(id0)
+	if s.SLA.UminPerPeriod != -20 {
+		t.Errorf("SLA not updated: %+v", s.SLA)
+	}
+	if err := m.Release(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(id1); err == nil {
+		t.Error("released slice should be gone")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := New()
+	if _, err := m.Request("", "x", SLA{}); err == nil {
+		t.Error("empty tenant should fail")
+	}
+	if err := m.ModifySLA(99, SLA{}); err == nil {
+		t.Error("unknown slice should fail")
+	}
+	if err := m.Release(99); err == nil {
+		t.Error("unknown release should fail")
+	}
+}
+
+func TestUminVector(t *testing.T) {
+	m := New()
+	_, _ = m.Request("a", "x", SLA{UminPerPeriod: -50})
+	_, _ = m.Request("b", "y", SLA{UminPerPeriod: -30})
+	v, err := m.UminVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 || v[0] != -50 || v[1] != -30 {
+		t.Errorf("UminVector = %v", v)
+	}
+	// Releasing slice 0 makes ids non-contiguous.
+	if err := m.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UminVector(); err == nil {
+		t.Error("non-contiguous ids should fail")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	m := New()
+	for i := 0; i < 5; i++ {
+		if _, err := m.Request("t", "a", SLA{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := m.List()
+	for i := 1; i < len(list); i++ {
+		if list[i].ID < list[i-1].ID {
+			t.Fatal("List not sorted")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package transport implements the EdgeSlice transport manager (Sec. V-B)
+// and the SDN substrate it controls in the prototype — OpenDayLight over
+// OpenFlow switches. The substitute models switches with flow tables and
+// rate-limiting meters (the OpenFlow construct the paper uses for per-user
+// bandwidth), and reproduces the paper's key mechanism: because OpenFlow
+// meters must be deleted and re-created to change a rate, a naive update
+// breaks connectivity during the deletion–creation interval; the manager
+// instead installs a parallel configuration and atomically transitions to
+// it, hiding the gap.
+//
+// User/slice association in the transport network is by source/destination
+// IP address, as in the prototype.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Meter is an OpenFlow-style rate limiter.
+type Meter struct {
+	ID       int
+	RateMbps float64
+}
+
+// Flow matches traffic by IP pair and points at a meter.
+type Flow struct {
+	SrcIP, DstIP string
+	SliceID      int
+	MeterID      int
+}
+
+// Config is one complete switch configuration: flows plus their meters.
+type Config struct {
+	Meters map[int]Meter
+	Flows  []Flow
+}
+
+// clone deep-copies a configuration.
+func (c Config) clone() Config {
+	out := Config{Meters: make(map[int]Meter, len(c.Meters)), Flows: append([]Flow(nil), c.Flows...)}
+	for id, m := range c.Meters {
+		out.Meters[id] = m
+	}
+	return out
+}
+
+// Switch is a simulated OpenFlow switch carrying one active configuration.
+// Forward consults the active configuration; during a naive reconfiguration
+// there are windows with no active configuration, and packets are dropped.
+type Switch struct {
+	mu     sync.Mutex
+	id     int
+	active *Config // nil = no configuration installed (drops everything)
+
+	forwarded int
+	dropped   int
+}
+
+// NewSwitch creates a switch with no configuration.
+func NewSwitch(id int) *Switch { return &Switch{id: id} }
+
+// Install replaces the active configuration atomically.
+func (s *Switch) Install(cfg Config) {
+	c := cfg.clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active = &c
+}
+
+// ClearConfig removes the active configuration (the deletion phase of a
+// naive meter update).
+func (s *Switch) ClearConfig() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active = nil
+}
+
+// Forward attempts to forward sizeMbit of traffic between an IP pair within
+// one time unit. It returns the delivered megabits: 0 if no configuration
+// or no matching flow is installed, otherwise min(size, meter rate).
+func (s *Switch) Forward(srcIP, dstIP string, sizeMbit float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		s.dropped++
+		return 0
+	}
+	for _, f := range s.active.Flows {
+		if f.SrcIP == srcIP && f.DstIP == dstIP {
+			m, ok := s.active.Meters[f.MeterID]
+			if !ok {
+				s.dropped++
+				return 0
+			}
+			s.forwarded++
+			if sizeMbit > m.RateMbps {
+				return m.RateMbps
+			}
+			return sizeMbit
+		}
+	}
+	s.dropped++
+	return 0
+}
+
+// Stats returns (forwarded, dropped) packet counts.
+func (s *Switch) Stats() (forwarded, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forwarded, s.dropped
+}
+
+// HasConfig reports whether a configuration is active.
+func (s *Switch) HasConfig() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active != nil
+}
+
+// SliceBandwidth describes one slice's link bandwidth plus the IP pairs of
+// its users.
+type SliceBandwidth struct {
+	SliceID  int
+	RateMbps float64
+	IPPairs  [][2]string
+}
+
+// Manager is the transport manager middleware: it translates per-slice
+// bandwidth allocations from the orchestration agent (VR-T interface) into
+// switch configurations over the controller's southbound API.
+type Manager struct {
+	mu        sync.Mutex
+	switches  []*Switch
+	totalMbps float64
+	nextMeter int
+	current   []SliceBandwidth
+}
+
+// NewManager manages the given switches with the given total link capacity
+// (the prototype: 80 Mbps between an eNodeB and its edge server).
+func NewManager(switches []*Switch, totalMbps float64) (*Manager, error) {
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("transport: need at least one switch")
+	}
+	if totalMbps <= 0 {
+		return nil, fmt.Errorf("transport: total bandwidth %v must be positive", totalMbps)
+	}
+	return &Manager{switches: switches, totalMbps: totalMbps, nextMeter: 1}, nil
+}
+
+// build converts slice bandwidth allocations into a switch configuration.
+func (m *Manager) build(allocs []SliceBandwidth) (Config, error) {
+	cfg := Config{Meters: make(map[int]Meter)}
+	var sum float64
+	for _, a := range allocs {
+		if a.RateMbps < 0 {
+			return Config{}, fmt.Errorf("transport: negative rate %v for slice %d", a.RateMbps, a.SliceID)
+		}
+		sum += a.RateMbps
+	}
+	scale := 1.0
+	if sum > m.totalMbps {
+		scale = m.totalMbps / sum
+	}
+	for _, a := range allocs {
+		id := m.nextMeter
+		m.nextMeter++
+		cfg.Meters[id] = Meter{ID: id, RateMbps: a.RateMbps * scale}
+		for _, pair := range a.IPPairs {
+			cfg.Flows = append(cfg.Flows, Flow{
+				SrcIP: pair[0], DstIP: pair[1], SliceID: a.SliceID, MeterID: id,
+			})
+		}
+	}
+	return cfg, nil
+}
+
+// ApplyHitless installs a new bandwidth allocation using the paper's
+// parallel-configuration mechanism: the new configuration is prepared and
+// installed atomically on every switch, so there is no interval in which a
+// switch has no configuration.
+func (m *Manager) ApplyHitless(allocs []SliceBandwidth) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cfg, err := m.build(allocs)
+	if err != nil {
+		return err
+	}
+	for _, sw := range m.switches {
+		sw.Install(cfg) // atomic swap per switch; never configless
+	}
+	m.current = append([]SliceBandwidth(nil), allocs...)
+	return nil
+}
+
+// ApplyNaive installs a new allocation the way vanilla OpenFlow meter
+// modification behaves: delete the old meters/flows, then create the new
+// ones. Between the two steps every switch drops traffic — the
+// deletion–creation interval the paper's mechanism hides. The onGap hook
+// (may be nil) runs inside the gap so tests and demos can observe it.
+func (m *Manager) ApplyNaive(allocs []SliceBandwidth, onGap func()) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cfg, err := m.build(allocs)
+	if err != nil {
+		return err
+	}
+	for _, sw := range m.switches {
+		sw.ClearConfig()
+	}
+	if onGap != nil {
+		onGap()
+	}
+	for _, sw := range m.switches {
+		sw.Install(cfg)
+	}
+	m.current = append([]SliceBandwidth(nil), allocs...)
+	return nil
+}
+
+// Current returns the last applied allocation.
+func (m *Manager) Current() []SliceBandwidth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SliceBandwidth(nil), m.current...)
+}
+
+// TotalMbps returns the managed link capacity.
+func (m *Manager) TotalMbps() float64 { return m.totalMbps }
+
+// Switches returns the managed switches.
+func (m *Manager) Switches() []*Switch { return m.switches }

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sixSwitches() []*Switch {
+	// The prototype's transport network has 6 OpenFlow switches (Table II).
+	out := make([]*Switch, 6)
+	for i := range out {
+		out[i] = NewSwitch(i)
+	}
+	return out
+}
+
+func twoSliceAlloc(r0, r1 float64) []SliceBandwidth {
+	return []SliceBandwidth{
+		{SliceID: 0, RateMbps: r0, IPPairs: [][2]string{{"10.0.0.1", "10.0.1.1"}}},
+		{SliceID: 1, RateMbps: r1, IPPairs: [][2]string{{"10.0.0.2", "10.0.1.2"}}},
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, 80); err == nil {
+		t.Error("no switches should fail")
+	}
+	if _, err := NewManager(sixSwitches(), 0); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestForwardWithoutConfigDrops(t *testing.T) {
+	sw := NewSwitch(0)
+	if got := sw.Forward("10.0.0.1", "10.0.1.1", 5); got != 0 {
+		t.Errorf("configless forward delivered %v", got)
+	}
+	_, dropped := sw.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestHitlessApplyNeverDrops(t *testing.T) {
+	switches := sixSwitches()
+	m, err := NewManager(switches, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyHitless(twoSliceAlloc(50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Reconfigure many times; between every pair of reconfigurations the
+	// switch must still forward.
+	for i := 0; i < 20; i++ {
+		if got := switches[0].Forward("10.0.0.1", "10.0.1.1", 10); got <= 0 {
+			t.Fatalf("hitless reconfig dropped traffic at iteration %d", i)
+		}
+		if err := m.ApplyHitless(twoSliceAlloc(float64(30+i), float64(50-i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, dropped := switches[0].Stats()
+	if dropped != 0 {
+		t.Errorf("hitless path dropped %d packets", dropped)
+	}
+}
+
+func TestNaiveApplyHasGap(t *testing.T) {
+	switches := sixSwitches()
+	m, _ := NewManager(switches, 80)
+	if err := m.ApplyHitless(twoSliceAlloc(50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	var droppedInGap bool
+	err := m.ApplyNaive(twoSliceAlloc(40, 40), func() {
+		// Inside the deletion-creation interval: traffic is lost.
+		if got := switches[0].Forward("10.0.0.1", "10.0.1.1", 10); got == 0 {
+			droppedInGap = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !droppedInGap {
+		t.Error("naive reconfiguration should drop traffic during the gap")
+	}
+	// After the naive apply completes, forwarding works again.
+	if got := switches[0].Forward("10.0.0.1", "10.0.1.1", 10); got <= 0 {
+		t.Error("forwarding should resume after naive apply")
+	}
+}
+
+func TestMeterLimitsRate(t *testing.T) {
+	switches := sixSwitches()
+	m, _ := NewManager(switches, 80)
+	if err := m.ApplyHitless(twoSliceAlloc(50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if got := switches[0].Forward("10.0.0.1", "10.0.1.1", 100); got != 50 {
+		t.Errorf("metered forward = %v, want 50", got)
+	}
+	if got := switches[0].Forward("10.0.0.1", "10.0.1.1", 20); got != 20 {
+		t.Errorf("under-rate forward = %v, want 20", got)
+	}
+}
+
+func TestUnknownFlowDrops(t *testing.T) {
+	switches := sixSwitches()
+	m, _ := NewManager(switches, 80)
+	if err := m.ApplyHitless(twoSliceAlloc(50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if got := switches[0].Forward("1.2.3.4", "5.6.7.8", 10); got != 0 {
+		t.Errorf("unknown flow delivered %v", got)
+	}
+}
+
+func TestOversubscriptionScaled(t *testing.T) {
+	switches := sixSwitches()
+	m, _ := NewManager(switches, 80)
+	if err := m.ApplyHitless(twoSliceAlloc(100, 100)); err != nil { // 200 > 80
+		t.Fatal(err)
+	}
+	got0 := switches[0].Forward("10.0.0.1", "10.0.1.1", 1000)
+	got1 := switches[0].Forward("10.0.0.2", "10.0.1.2", 1000)
+	if got0+got1 > 80+1e-9 {
+		t.Errorf("delivered %v Mbps total, link is 80", got0+got1)
+	}
+	if got0 != got1 {
+		t.Errorf("equal requests should scale equally: %v vs %v", got0, got1)
+	}
+}
+
+func TestApplyRejectsNegativeRate(t *testing.T) {
+	m, _ := NewManager(sixSwitches(), 80)
+	if err := m.ApplyHitless(twoSliceAlloc(-1, 10)); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := m.ApplyNaive(twoSliceAlloc(-1, 10), nil); err == nil {
+		t.Error("negative rate should fail (naive)")
+	}
+}
+
+func TestCurrentReflectsLastApply(t *testing.T) {
+	m, _ := NewManager(sixSwitches(), 80)
+	if err := m.ApplyHitless(twoSliceAlloc(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	cur := m.Current()
+	if len(cur) != 2 || cur[0].RateMbps != 10 || cur[1].RateMbps != 20 {
+		t.Errorf("Current = %+v", cur)
+	}
+	if m.TotalMbps() != 80 {
+		t.Errorf("TotalMbps = %v", m.TotalMbps())
+	}
+	if len(m.Switches()) != 6 {
+		t.Errorf("Switches = %d", len(m.Switches()))
+	}
+}
+
+// Property: regardless of requested rates, delivered bandwidth per flow is
+// never negative and never exceeds the link capacity.
+func TestDeliveryBoundsProperty(t *testing.T) {
+	f := func(r0raw, r1raw uint16, size uint16) bool {
+		m, err := NewManager([]*Switch{NewSwitch(0)}, 80)
+		if err != nil {
+			return false
+		}
+		if err := m.ApplyHitless(twoSliceAlloc(float64(r0raw), float64(r1raw))); err != nil {
+			return false
+		}
+		sw := m.Switches()[0]
+		got := sw.Forward("10.0.0.1", "10.0.1.1", float64(size))
+		return got >= 0 && got <= 80+1e-9 && got <= float64(size)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
