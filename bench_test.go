@@ -279,6 +279,31 @@ func BenchmarkActorForward(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioRunner measures the parallel sharded scenario runner's
+// replica throughput on the flash-crowd scenario (non-learning algorithm, so
+// the cost is pure simulation + aggregation). The serial variant bounds the
+// pool at one worker for a speedup baseline.
+func BenchmarkScenarioRunner(b *testing.B) {
+	spec, err := edgeslice.GetScenario("flash-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Periods = 100 // heavy enough per replica that pool scaling shows
+	const replicas = 16
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := edgeslice.RunScenario(spec, edgeslice.ScenarioOptions{
+					Replicas: replicas, Parallel: parallel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(replicas*b.N)/b.Elapsed().Seconds(), "replicas/s")
+		})
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablations documented in
 // DESIGN.md: the MinShare floor, the reward normalization, and the value of
 // central coordination.

@@ -1,18 +1,28 @@
 // Command edgeslice-sim runs an end-to-end EdgeSlice orchestration
-// simulation: it trains the orchestration agents (for learning algorithms),
-// executes Algorithm 1 for the requested number of periods, and prints
-// per-period performance, SLA status, and the steady-state summary.
+// simulation. It has two modes:
 //
-// Usage:
+// Classic mode trains the orchestration agents (for learning algorithms),
+// executes Algorithm 1 for the requested number of periods, and prints
+// per-period performance, SLA status, and the steady-state summary:
 //
 //	edgeslice-sim [-algo edgeslice|edgeslice-nt|taro|equal] [-periods 10]
 //	              [-ras 2] [-train 12000] [-seed 1]
+//
+// Scenario mode runs a declarative workload scenario — a built-in name or a
+// JSON spec file — through the parallel sharded replica runner and prints
+// the aggregated summary (mean/p5/p95 of steady-state system performance
+// and SLA-violation rate per algorithm):
+//
+//	edgeslice-sim -list-scenarios
+//	edgeslice-sim -scenario flash-crowd [-replicas 4] [-parallel 4] [-seed 1]
+//	edgeslice-sim -scenario my-workload.json -replicas 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"edgeslice"
 )
@@ -31,36 +41,125 @@ func run() error {
 		ras      = flag.Int("ras", 2, "number of resource autonomies")
 		train    = flag.Int("train", 12000, "agent training steps")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		scenarioName = flag.String("scenario", "", "run a named built-in scenario or a JSON spec file")
+		listScen     = flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
+		replicas     = flag.Int("replicas", 1, "scenario replicas (seeds) per algorithm")
+		parallel     = flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	algo, err := parseAlgo(*algoName)
+	if *listScen {
+		return listScenarios(os.Stdout)
+	}
+	if *scenarioName != "" {
+		// Scenarios define their own topology, schedule, algorithms, and
+		// training budget; explicitly set classic-mode flags would be
+		// silently ignored, so reject them instead.
+		for _, name := range []string{"algo", "periods", "ras", "train"} {
+			if flagWasSet(name) {
+				return fmt.Errorf("-%s applies to classic mode only; scenarios declare it in the spec", name)
+			}
+		}
+		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"))
+	}
+	for _, name := range []string{"replicas", "parallel"} {
+		if flagWasSet(name) {
+			return fmt.Errorf("-%s applies to scenario mode only; pass -scenario to use the replica runner", name)
+		}
+	}
+	return runClassic(*algoName, *periods, *ras, *train, *seed)
+}
+
+// flagWasSet reports whether a flag was given explicitly (e.g. scenario
+// specs carry their own seed; an explicit -seed overrides it).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func listScenarios(w *os.File) error {
+	for _, name := range edgeslice.ListScenarios() {
+		spec, err := edgeslice.GetScenario(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s %s\n", name, spec.Description)
+	}
+	return nil
+}
+
+// loadScenario resolves a built-in name or a JSON spec path.
+func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
+	if !strings.HasSuffix(nameOrFile, ".json") {
+		return edgeslice.GetScenario(nameOrFile)
+	}
+	f, err := os.Open(nameOrFile)
+	if err != nil {
+		return edgeslice.Scenario{}, err
+	}
+	defer f.Close()
+	return edgeslice.DecodeScenario(f)
+}
+
+func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet bool) error {
+	spec, err := loadScenario(nameOrFile)
+	if err != nil {
+		return err
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	fmt.Printf("scenario %s: %d RA(s), %d slice(s), %d period(s) x %d interval(s), algorithms %v\n",
+		spec.Name, spec.NumRAs, len(spec.Slices), spec.Periods, spec.T, spec.Algorithms)
+	opts := edgeslice.ScenarioOptions{
+		Replicas: replicas,
+		Parallel: parallel,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "replica %d/%d done\n", done, total)
+		},
+	}
+	summary, err := edgeslice.RunScenario(spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return edgeslice.WriteScenarioSummary(os.Stdout, summary)
+}
+
+func runClassic(algoName string, periods, ras, train int, seed int64) error {
+	algo, err := edgeslice.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
 	}
 	cfg := edgeslice.DefaultConfig()
 	cfg.Algo = algo
-	cfg.NumRAs = *ras
-	cfg.TrainSteps = *train
-	cfg.Seed = *seed
+	cfg.NumRAs = ras
+	cfg.TrainSteps = train
+	cfg.Seed = seed
 
 	sys, err := edgeslice.NewSystem(cfg)
 	if err != nil {
 		return err
 	}
 	if algo == edgeslice.AlgoEdgeSlice || algo == edgeslice.AlgoEdgeSliceNT {
-		fmt.Printf("training %s agents (%d steps)...\n", algo, *train)
+		fmt.Printf("training %s agents (%d steps)...\n", algo, train)
 	}
 	if err := sys.Train(); err != nil {
 		return err
 	}
-	h, err := sys.RunPeriods(*periods)
+	h, err := sys.RunPeriods(periods)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("\n%s: %d RAs, %d slices, %d periods x %d intervals\n",
-		algo, *ras, cfg.EnvTemplate.NumSlices, *periods, cfg.EnvTemplate.T)
+		algo, ras, cfg.EnvTemplate.NumSlices, periods, cfg.EnvTemplate.T)
 	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
 	for p := 0; p < h.Periods(); p++ {
 		perf := make([]float64, h.NumSlices)
@@ -83,21 +182,6 @@ func run() error {
 	fmt.Printf("\nsteady-state system performance: %.2f per interval\n", mp)
 	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
 	return nil
-}
-
-func parseAlgo(name string) (edgeslice.Algorithm, error) {
-	switch name {
-	case "edgeslice":
-		return edgeslice.AlgoEdgeSlice, nil
-	case "edgeslice-nt":
-		return edgeslice.AlgoEdgeSliceNT, nil
-	case "taro":
-		return edgeslice.AlgoTARO, nil
-	case "equal":
-		return edgeslice.AlgoEqualShare, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", name)
-	}
 }
 
 func fmtVec(v []float64) string {

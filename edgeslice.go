@@ -15,6 +15,9 @@
 //     as separate processes.
 //   - Experiments (Fig6 … Fig11, Options) — regenerate every evaluation
 //     figure of the paper.
+//   - Scenarios (ListScenarios, GetScenario, RunScenario) — declarative
+//     workload scenarios (traffic programs with timed events) executed by a
+//     parallel sharded replica runner.
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package edgeslice
@@ -30,6 +33,7 @@ import (
 	"edgeslice/internal/netsim"
 	"edgeslice/internal/rcnet"
 	"edgeslice/internal/rl"
+	"edgeslice/internal/scenario"
 	"edgeslice/internal/traffic"
 )
 
@@ -76,6 +80,23 @@ type (
 	AgentClient = rcnet.AgentClient
 )
 
+// Scenario-engine types (declarative workloads and the parallel runner).
+type (
+	// Scenario is a declarative workload scenario: topology, slice mix,
+	// traffic program with timed events, schedule, and algorithms.
+	Scenario = scenario.Spec
+	// ScenarioSlice declares one slice of a scenario.
+	ScenarioSlice = scenario.SliceSpec
+	// ScenarioTraffic declares a slice's base traffic source.
+	ScenarioTraffic = scenario.TrafficSpec
+	// ScenarioEvent is a timed entry of a scenario's traffic program.
+	ScenarioEvent = scenario.Event
+	// ScenarioOptions configures the parallel replica runner.
+	ScenarioOptions = scenario.Options
+	// ScenarioSummary aggregates a scenario run's replicas.
+	ScenarioSummary = scenario.Summary
+)
+
 // Experiment types.
 type (
 	// ExperimentOptions scales the figure regeneration runs.
@@ -104,6 +125,10 @@ const (
 
 // NewSystem builds an EdgeSlice system from a configuration.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// ParseAlgorithm resolves the CLI/scenario spelling of an algorithm
+// ("edgeslice", "edgeslice-nt", "taro", "equal").
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
 
 // DefaultConfig returns the prototype-experiment system of Sec. VII-C
 // (2 slices, 2 RAs, video-analytics workloads) at CI training scale.
@@ -159,6 +184,27 @@ func NewCoordinator(numSlices, numRAs int, rho float64, umin []float64) (*Coordi
 // number of geographic areas (see DESIGN.md §5 for the substitution note).
 func SynthesizeTrace(seed int64, numAreas int) (*Trace, error) {
 	return traffic.SynthesizeTrentoLike(mathutil.NewRNG(seed), numAreas)
+}
+
+// ListScenarios returns the names of the built-in workload scenarios.
+func ListScenarios() []string { return scenario.List() }
+
+// GetScenario returns a built-in scenario by name.
+func GetScenario(name string) (Scenario, error) { return scenario.Get(name) }
+
+// DecodeScenario parses and validates a JSON scenario spec.
+func DecodeScenario(r io.Reader) (Scenario, error) { return scenario.DecodeJSON(r) }
+
+// RunScenario executes a scenario's replicas (seeds × algorithms) across a
+// bounded worker pool and aggregates the results; the summary is identical
+// for any parallelism setting.
+func RunScenario(spec Scenario, opts ScenarioOptions) (*ScenarioSummary, error) {
+	return scenario.Run(spec, opts)
+}
+
+// WriteScenarioSummary renders a scenario summary as an aligned text table.
+func WriteScenarioSummary(w io.Writer, s *ScenarioSummary) error {
+	return scenario.WriteSummary(w, s)
 }
 
 // DefaultExperimentOptions returns CI-scale experiment settings.

@@ -1,0 +1,3 @@
+module edgeslice
+
+go 1.24

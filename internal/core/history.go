@@ -49,6 +49,30 @@ func (h *History) AddPeriod(perf [][]float64, sla []bool, primal, dual float64) 
 	h.Dual = append(h.Dual, dual)
 }
 
+// Append concatenates another history of the same system shape onto h; the
+// scenario runner uses it to stitch period-at-a-time runs (with events
+// applied between periods) into one continuous record.
+func (h *History) Append(other *History) error {
+	if other == nil {
+		return fmt.Errorf("core: append nil history")
+	}
+	if other.NumSlices != h.NumSlices || other.NumRAs != h.NumRAs || other.T != h.T {
+		return fmt.Errorf("core: append shape mismatch: %dx%dxT%d vs %dx%dxT%d",
+			other.NumSlices, other.NumRAs, other.T, h.NumSlices, h.NumRAs, h.T)
+	}
+	h.SystemPerf = append(h.SystemPerf, other.SystemPerf...)
+	for i := range other.SlicePerf {
+		h.SlicePerf[i] = append(h.SlicePerf[i], other.SlicePerf[i]...)
+	}
+	h.Usage = append(h.Usage, other.Usage...)
+	h.Violations = append(h.Violations, other.Violations...)
+	h.PeriodPerf = append(h.PeriodPerf, other.PeriodPerf...)
+	h.SLAMet = append(h.SLAMet, other.SLAMet...)
+	h.Primal = append(h.Primal, other.Primal...)
+	h.Dual = append(h.Dual, other.Dual...)
+	return nil
+}
+
 // Intervals returns the number of recorded intervals.
 func (h *History) Intervals() int { return len(h.SystemPerf) }
 

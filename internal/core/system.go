@@ -55,6 +55,24 @@ func (a Algorithm) IsLearning() bool {
 	return a == AlgoEdgeSlice || a == AlgoEdgeSliceNT
 }
 
+// ParseAlgorithm resolves the CLI/scenario spelling of an algorithm
+// ("edgeslice", "edgeslice-nt", "taro", "equal"); the paper display names
+// returned by String are accepted too.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "edgeslice", "EdgeSlice":
+		return AlgoEdgeSlice, nil
+	case "edgeslice-nt", "EdgeSlice-NT":
+		return AlgoEdgeSliceNT, nil
+	case "taro", "TARO":
+		return AlgoTARO, nil
+	case "equal", "EqualShare":
+		return AlgoEqualShare, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", name)
+	}
+}
+
 // Config assembles a full EdgeSlice system.
 type Config struct {
 	NumRAs int
@@ -64,6 +82,13 @@ type Config struct {
 	// EnvPerRA optionally overrides the template per RA (e.g. per-area
 	// traffic profiles); nil entries fall back to the template.
 	EnvPerRA []*netsim.Config
+	// TrainEnvPerRA optionally overrides the environment agents are
+	// trained in, per RA; nil entries fall back to EnvPerRA/EnvTemplate.
+	// The scenario engine uses it to train on base traffic while
+	// deploying against the event-modulated traffic program: deployment
+	// events are anchored to absolute run intervals, which have no
+	// meaning inside the offline training episodes.
+	TrainEnvPerRA []*netsim.Config
 
 	Algo Algorithm
 
@@ -119,6 +144,9 @@ func (c Config) Validate() error {
 	if c.EnvPerRA != nil && len(c.EnvPerRA) != c.NumRAs {
 		return fmt.Errorf("core: EnvPerRA has %d entries, want %d", len(c.EnvPerRA), c.NumRAs)
 	}
+	if c.TrainEnvPerRA != nil && len(c.TrainEnvPerRA) != c.NumRAs {
+		return fmt.Errorf("core: TrainEnvPerRA has %d entries, want %d", len(c.TrainEnvPerRA), c.NumRAs)
+	}
 	if c.Umin != nil && len(c.Umin) != c.EnvTemplate.NumSlices {
 		return fmt.Errorf("core: Umin has %d entries, want %d", len(c.Umin), c.EnvTemplate.NumSlices)
 	}
@@ -140,6 +168,9 @@ type System struct {
 	mon    *monitor.Monitor
 
 	trained bool
+	// intervalsRun numbers monitor samples continuously across RunPeriods
+	// calls (the scenario runner advances period by period).
+	intervalsRun int
 }
 
 // NewSystem builds the system (agents untrained; call Train before
@@ -225,7 +256,7 @@ func (s *System) Train() error {
 
 	s.agents = make([]rl.Agent, s.cfg.NumRAs)
 	if s.cfg.ShareAgent {
-		agent, err := trainOne(0, s.envTemplateFor(0))
+		agent, err := trainOne(0, s.trainTemplateFor(0))
 		if err != nil {
 			return fmt.Errorf("core: training shared agent: %w", err)
 		}
@@ -236,7 +267,7 @@ func (s *System) Train() error {
 		return nil
 	}
 	for j := range s.agents {
-		agent, err := trainOne(int64(j+1)*31, s.envTemplateFor(j))
+		agent, err := trainOne(int64(j+1)*31, s.trainTemplateFor(j))
 		if err != nil {
 			return fmt.Errorf("core: training agent %d: %w", j, err)
 		}
@@ -283,6 +314,15 @@ func (s *System) envTemplateFor(j int) netsim.Config {
 		return *s.cfg.EnvPerRA[j]
 	}
 	return s.cfg.EnvTemplate
+}
+
+// trainTemplateFor returns the environment RA j's agent trains in,
+// preferring the dedicated training override.
+func (s *System) trainTemplateFor(j int) netsim.Config {
+	if s.cfg.TrainEnvPerRA != nil && s.cfg.TrainEnvPerRA[j] != nil {
+		return *s.cfg.TrainEnvPerRA[j]
+	}
+	return s.envTemplateFor(j)
 }
 
 // action computes RA j's orchestration action for the current interval.
@@ -339,7 +379,8 @@ func (s *System) RunPeriods(n int) (*History, error) {
 			perf[i] = make([]float64, J)
 		}
 		for t := 0; t < T; t++ {
-			interval := p*T + t
+			interval := s.intervalsRun
+			s.intervalsRun++
 			var sysPerf float64
 			slicePerf := make([]float64, I)
 			usage := make([][]float64, I)

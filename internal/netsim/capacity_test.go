@@ -1,0 +1,61 @@
+package netsim
+
+import "testing"
+
+func TestCapacityScaleThrottlesService(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	env, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := [NumResources]float64{0.5, 0.5, 0.5}
+	nominal, err := env.serviceRate(0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetCapacityScale(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.CapacityScale(); got != 0.25 {
+		t.Errorf("CapacityScale = %v, want 0.25", got)
+	}
+	degraded, err := env.serviceRate(0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := nominal * 0.25; degraded != want {
+		t.Errorf("degraded rate = %v, want %v", degraded, want)
+	}
+	if err := env.SetCapacityScale(1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := env.serviceRate(0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != nominal {
+		t.Errorf("restored rate = %v, want %v", restored, nominal)
+	}
+}
+
+func TestCapacityScaleRejectsInvalid(t *testing.T) {
+	env, err := New(DefaultExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, -1} {
+		if err := env.SetCapacityScale(bad); err == nil {
+			t.Errorf("SetCapacityScale(%v) accepted", bad)
+		}
+	}
+}
+
+func TestNewEnvNominalCapacityScale(t *testing.T) {
+	env, err := New(DefaultExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env.CapacityScale(); got != 1 {
+		t.Errorf("fresh env CapacityScale = %v, want 1", got)
+	}
+}

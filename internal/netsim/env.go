@@ -155,6 +155,11 @@ type RAEnv struct {
 	queues []SliceQueue
 	z, y   []float64 // coordination per slice (this RA's column)
 
+	// capScale scales every domain's capacity at runtime (1 = nominal).
+	// Scenario events use it to model RA degradation and recovery without
+	// rebuilding the environment.
+	capScale float64
+
 	// dataset, when set, replaces the analytic service model with the
 	// grid-search + local-linear-regression predictions of Sec. VI-B
 	// (the offline training pipeline of Fig. 5).
@@ -177,6 +182,7 @@ func New(cfg Config) (*RAEnv, error) {
 	e := &RAEnv{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // simulation
+		capScale:   1,
 		queues:     make([]SliceQueue, cfg.NumSlices),
 		z:          make([]float64, cfg.NumSlices),
 		y:          make([]float64, cfg.NumSlices),
@@ -420,7 +426,7 @@ func (e *RAEnv) serviceRate(i int, eff [NumResources]float64) (float64, error) {
 		if d <= 0 {
 			continue
 		}
-		r := eff[k] * e.cfg.Capacity[k] / d
+		r := eff[k] * e.cfg.Capacity[k] * e.capScale / d
 		if r < rate {
 			rate = r
 		}
@@ -430,6 +436,21 @@ func (e *RAEnv) serviceRate(i int, eff [NumResources]float64) (float64, error) {
 	}
 	return rate, nil
 }
+
+// SetCapacityScale scales every resource domain's capacity at runtime
+// (1 = nominal, 0.3 = a degraded RA at 30%). Scenario events use it to
+// model RA failure and recovery. It only affects the analytic service
+// model; the dataset model predicts from shares alone.
+func (e *RAEnv) SetCapacityScale(scale float64) error {
+	if math.IsNaN(scale) || scale < 0 {
+		return fmt.Errorf("netsim: capacity scale %v must be non-negative", scale)
+	}
+	e.capScale = scale
+	return nil
+}
+
+// CapacityScale returns the current runtime capacity scale.
+func (e *RAEnv) CapacityScale() float64 { return e.capScale }
 
 // UseDataset switches the environment to the offline service model: rates
 // come from the grid-search dataset's local linear-regression predictions

@@ -64,6 +64,9 @@ func TestUpdateNoopBeforeWarmup(t *testing.T) {
 }
 
 func TestDDPGLearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(11)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	agent, err := New(env.StateDim(), env.ActionDim(), fastConfig())

@@ -19,6 +19,9 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestPPOLearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(21)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	cfg := DefaultConfig()

@@ -36,6 +36,9 @@ func TestActBounds(t *testing.T) {
 }
 
 func TestSACLearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(61)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	cfg := DefaultConfig()

@@ -85,6 +85,9 @@ func TestPolicyDelay(t *testing.T) {
 }
 
 func TestTD3LearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(71)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	cfg := DefaultConfig()

@@ -32,6 +32,9 @@ func abs(x float64) float64 {
 }
 
 func TestTRPOLearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(41)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	cfg := DefaultConfig()

@@ -14,6 +14,9 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestVPGLearnsTargetTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
 	rng := rand.New(rand.NewSource(31)) //nolint:gosec // test
 	env := rltest.NewTargetEnv(rng, 2, 2, 64)
 	cfg := DefaultConfig()

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListHasAtLeastSixScenarios(t *testing.T) {
+	names := List()
+	if len(names) < 6 {
+		t.Fatalf("built-in catalog has %d scenarios, want >= 6: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("List not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, name := range List() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("Get(%q) returned spec named %q", name, spec.Name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("built-in %q fails validation: %v", name, err)
+		}
+		if spec.Description == "" {
+			t.Errorf("built-in %q has no description", name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	_, err := Get("nonexistent")
+	if err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+	if !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("error %q does not name the missing scenario", err)
+	}
+}
+
+func TestBuiltinEventCoverage(t *testing.T) {
+	// The catalog must exercise every event kind at least once.
+	seen := map[EventKind]bool{}
+	for _, name := range List() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range spec.Events {
+			seen[ev.Kind] = true
+		}
+	}
+	for _, kind := range []EventKind{
+		EventFlashCrowd, EventRateRamp, EventRADegrade, EventRARecover,
+		EventSliceAdmit, EventSliceTeardown,
+	} {
+		if !seen[kind] {
+			t.Errorf("no built-in scenario uses event kind %q", kind)
+		}
+	}
+}

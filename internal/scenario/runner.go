@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"edgeslice/internal/core"
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/slicemgr"
+)
+
+// Options configures a scenario run.
+type Options struct {
+	// Replicas is the number of independent seeds per algorithm (default 1).
+	Replicas int
+	// Parallel bounds the worker pool (default GOMAXPROCS). The summary is
+	// bit-identical for any pool size: each replica's outcome depends only
+	// on (spec, algorithm, replica index), and aggregation sorts by index.
+	Parallel int
+	// Monitor, when set, receives a "scenario/<name>/completed" sample as
+	// each replica finishes (value and interval are the completed count).
+	Monitor *monitor.Monitor
+	// Progress, when set, is called after each replica completes.
+	Progress func(completed, total int)
+}
+
+func (o Options) normalized() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ReplicaResult is the outcome of one (algorithm, replica) run.
+type ReplicaResult struct {
+	Algorithm string
+	Replica   int
+	Seed      int64
+
+	// SSP is the steady-state system performance: the mean per-interval
+	// system performance over the last half of the run (the Fig. 6a
+	// number).
+	SSP float64
+	// SLAViolationRate is the fraction of (period, slice) pairs whose SLA
+	// was missed.
+	SLAViolationRate float64
+	// ActiveSlices is the slice manager's final count after admission and
+	// teardown events.
+	ActiveSlices int
+}
+
+// Stats summarizes one metric across replicas.
+type Stats struct {
+	Mean float64
+	P5   float64
+	P95  float64
+}
+
+// AlgorithmSummary aggregates one algorithm's replicas.
+type AlgorithmSummary struct {
+	Algorithm    string
+	SSP          Stats
+	SLAViolation Stats
+	Replicas     []ReplicaResult
+}
+
+// Summary is the aggregated outcome of a scenario run.
+type Summary struct {
+	Scenario   string
+	Replicas   int
+	Algorithms []AlgorithmSummary
+}
+
+// replicaSeed derives replica r's deterministic seed from the spec seed.
+func replicaSeed(base int64, r int) int64 { return base + int64(r)*9973 }
+
+// Run executes replicas × algorithms runs of the scenario across a bounded
+// worker pool and aggregates the results. Every replica is deterministic in
+// (spec, algorithm, replica index); the summary is identical for any
+// Parallel setting.
+func Run(spec Spec, opts Options) (*Summary, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+
+	type job struct {
+		algo    string
+		replica int
+	}
+	jobs := make([]job, 0, len(spec.Algorithms)*opts.Replicas)
+	for _, algo := range spec.Algorithms {
+		for r := 0; r < opts.Replicas; r++ {
+			jobs = append(jobs, job{algo: algo, replica: r})
+		}
+	}
+
+	results := make([]ReplicaResult, len(jobs))
+	errs := make([]error, len(jobs))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+
+	// The monitor and callback fire inside the mutex so completion
+	// samples stay in order (the monitor rejects out-of-order intervals).
+	var progressMu sync.Mutex
+	completed := 0
+	reportProgress := func() {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		completed++
+		if opts.Monitor != nil {
+			_ = opts.Monitor.Record("scenario/"+spec.Name+"/completed", completed, float64(completed))
+		}
+		if opts.Progress != nil {
+			opts.Progress(completed, len(jobs))
+		}
+	}
+
+	workers := opts.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				res, err := runReplica(spec, j.algo, j.replica)
+				results[idx] = res
+				errs[idx] = err
+				reportProgress()
+			}
+		}()
+	}
+	for idx := range jobs {
+		jobCh <- idx
+	}
+	close(jobCh)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %s replica %d: %w", spec.Name, jobs[idx].algo, jobs[idx].replica, err)
+		}
+	}
+
+	summary := &Summary{Scenario: spec.Name, Replicas: opts.Replicas}
+	for _, algo := range spec.Algorithms {
+		var group []ReplicaResult
+		for _, res := range results {
+			if res.Algorithm == algo {
+				group = append(group, res)
+			}
+		}
+		sort.Slice(group, func(a, b int) bool { return group[a].Replica < group[b].Replica })
+		ssp := make([]float64, len(group))
+		viol := make([]float64, len(group))
+		for i, res := range group {
+			ssp[i] = res.SSP
+			viol[i] = res.SLAViolationRate
+		}
+		summary.Algorithms = append(summary.Algorithms, AlgorithmSummary{
+			Algorithm:    algo,
+			SSP:          statsOf(ssp),
+			SLAViolation: statsOf(viol),
+			Replicas:     group,
+		})
+	}
+	return summary, nil
+}
+
+// runReplica executes one (algorithm, replica) run: it compiles the spec,
+// trains if needed, then advances period by period, applying runtime events
+// (RA degradation/recovery, slice admission/teardown through the slice
+// manager) at the boundary of the period containing each event's interval.
+func runReplica(spec Spec, algoName string, replica int) (ReplicaResult, error) {
+	algo, err := core.ParseAlgorithm(algoName)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	seed := replicaSeed(spec.Seed, replica)
+	cfg, err := spec.systemConfig(algo, seed)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	if err := sys.Train(); err != nil {
+		return ReplicaResult{}, err
+	}
+
+	// The slice manager mirrors the tenant lifecycle: slices without an
+	// admission event are provisioned up front; admit/teardown events
+	// drive Request/Release as they fire.
+	mgr := slicemgr.New()
+	umin := spec.UminVector()
+	managed := make(map[int]int) // slice index -> manager id
+	admitAt := make(map[int]bool)
+	for _, ev := range spec.Events {
+		if ev.Kind == EventSliceAdmit {
+			admitAt[ev.Slice] = true
+		}
+	}
+	for i, sl := range spec.Slices {
+		if admitAt[i] {
+			continue
+		}
+		id, err := mgr.Request(sl.Tenant, sl.App.Name, slicemgr.SLA{UminPerPeriod: umin[i]})
+		if err != nil {
+			return ReplicaResult{}, err
+		}
+		managed[i] = id
+	}
+
+	h := core.NewHistory(len(spec.Slices), spec.NumRAs, spec.T)
+	for p := 0; p < spec.Periods; p++ {
+		lo, hi := p*spec.T, (p+1)*spec.T
+		var due []Event
+		for _, ev := range spec.Events {
+			if ev.isRuntime() && ev.At >= lo && ev.At < hi {
+				due = append(due, ev)
+			}
+		}
+		// Events sharing a period apply in chronological order, not spec
+		// order — a degrade at 32 must not be undone by a recover at 38
+		// that happens to be listed first.
+		sort.SliceStable(due, func(a, b int) bool { return due[a].At < due[b].At })
+		for _, ev := range due {
+			if err := applyRuntimeEvent(sys, mgr, managed, spec, umin, ev); err != nil {
+				return ReplicaResult{}, err
+			}
+		}
+		hp, err := sys.RunPeriods(1)
+		if err != nil {
+			return ReplicaResult{}, err
+		}
+		if err := h.Append(hp); err != nil {
+			return ReplicaResult{}, err
+		}
+	}
+
+	ssp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	slaRate, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	return ReplicaResult{
+		Algorithm:        algoName,
+		Replica:          replica,
+		Seed:             seed,
+		SSP:              ssp,
+		SLAViolationRate: 1 - slaRate,
+		ActiveSlices:     len(mgr.List()),
+	}, nil
+}
+
+// applyRuntimeEvent enacts one infrastructure or lifecycle event on a
+// running system.
+func applyRuntimeEvent(sys *core.System, mgr *slicemgr.Manager, managed map[int]int, spec Spec, umin []float64, ev Event) error {
+	switch ev.Kind {
+	case EventRADegrade, EventRARecover:
+		scale := 1.0
+		if ev.Kind == EventRADegrade {
+			scale = ev.Factor
+		}
+		if ev.RA >= 0 {
+			return sys.Env(ev.RA).SetCapacityScale(scale)
+		}
+		for j := 0; j < sys.NumRAs(); j++ {
+			if err := sys.Env(j).SetCapacityScale(scale); err != nil {
+				return err
+			}
+		}
+		return nil
+	case EventSliceAdmit:
+		sl := spec.Slices[ev.Slice]
+		id, err := mgr.Request(sl.Tenant, sl.App.Name, slicemgr.SLA{UminPerPeriod: umin[ev.Slice]})
+		if err != nil {
+			return err
+		}
+		managed[ev.Slice] = id
+		return nil
+	case EventSliceTeardown:
+		id, ok := managed[ev.Slice]
+		if !ok {
+			return fmt.Errorf("scenario: teardown of slice %d before admission", ev.Slice)
+		}
+		delete(managed, ev.Slice)
+		return mgr.Release(id)
+	default:
+		return fmt.Errorf("scenario: event %q is not a runtime event", ev.Kind)
+	}
+}
+
+// statsOf computes mean/p5/p95 from the samples (order-independent).
+func statsOf(samples []float64) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Stats{
+		Mean: sum / float64(len(s)),
+		P5:   quantile(s, 0.05),
+		P95:  quantile(s, 0.95),
+	}
+}
+
+// quantile returns the q-th quantile of sorted samples with linear
+// interpolation between order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// WriteSummary renders the summary as an aligned text table.
+func WriteSummary(w io.Writer, s *Summary) error {
+	if _, err := fmt.Fprintf(w, "scenario %s (%d replica(s) per algorithm)\n", s.Scenario, s.Replicas); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s | %10s %10s %10s | %8s %8s %8s\n",
+		"algorithm", "ssp-mean", "ssp-p5", "ssp-p95", "viol-mean", "viol-p5", "viol-p95"); err != nil {
+		return err
+	}
+	for _, a := range s.Algorithms {
+		if _, err := fmt.Fprintf(w, "%-14s | %10.2f %10.2f %10.2f | %8.2f %8.2f %8.2f\n",
+			a.Algorithm, a.SSP.Mean, a.SSP.P5, a.SSP.P95,
+			a.SLAViolation.Mean, a.SLAViolation.P5, a.SLAViolation.P95); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"edgeslice/internal/core"
+	"edgeslice/internal/monitor"
+)
+
+// fastSpec is a small, non-learning scenario for runner tests.
+func fastSpec() Spec {
+	spec := FlashCrowd()
+	spec.Periods = 4
+	spec.Events = []Event{
+		{Kind: EventFlashCrowd, At: 10, Duration: 10, Slice: 0, Factor: 3},
+	}
+	return spec
+}
+
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	spec := fastSpec()
+	serial, err := Run(spec, Options{Replicas: 4, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, Options{Replicas: 4, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("summary differs across parallelism:\n serial  %+v\n parallel %+v", serial, parallel)
+	}
+}
+
+func TestRunnerSummaryShape(t *testing.T) {
+	spec := fastSpec()
+	spec.Algorithms = []string{"taro", "equal"}
+	s, err := Run(spec, Options{Replicas: 3, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scenario != spec.Name || s.Replicas != 3 {
+		t.Errorf("summary header = %q/%d", s.Scenario, s.Replicas)
+	}
+	if len(s.Algorithms) != 2 {
+		t.Fatalf("got %d algorithm groups, want 2", len(s.Algorithms))
+	}
+	for _, a := range s.Algorithms {
+		if len(a.Replicas) != 3 {
+			t.Errorf("%s: %d replicas, want 3", a.Algorithm, len(a.Replicas))
+		}
+		for r, res := range a.Replicas {
+			if res.Replica != r {
+				t.Errorf("%s: replica order broken at %d (got %d)", a.Algorithm, r, res.Replica)
+			}
+			if res.Seed != replicaSeed(spec.Seed, r) {
+				t.Errorf("%s replica %d: seed %d, want %d", a.Algorithm, r, res.Seed, replicaSeed(spec.Seed, r))
+			}
+			if math.IsNaN(res.SSP) {
+				t.Errorf("%s replica %d: NaN SSP", a.Algorithm, r)
+			}
+			if res.SLAViolationRate < 0 || res.SLAViolationRate > 1 {
+				t.Errorf("%s replica %d: violation rate %v outside [0,1]", a.Algorithm, r, res.SLAViolationRate)
+			}
+		}
+		if a.SSP.P5 > a.SSP.Mean || a.SSP.Mean > a.SSP.P95 {
+			t.Errorf("%s: SSP stats out of order: %+v", a.Algorithm, a.SSP)
+		}
+	}
+}
+
+func TestRunnerStreamsProgress(t *testing.T) {
+	spec := fastSpec()
+	mon := monitor.New()
+	var mu sync.Mutex
+	var calls []int
+	_, err := Run(spec, Options{
+		Replicas: 3, Parallel: 2, Monitor: mon,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls = append(calls, done)
+			if total != 3 {
+				t.Errorf("total = %d, want 3", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 3 {
+		t.Errorf("progress callback fired %d times, want 3", len(calls))
+	}
+	samples := mon.Query("scenario/"+spec.Name+"/completed", 0, 1<<30)
+	if len(samples) != 3 {
+		t.Fatalf("monitor recorded %d samples, want 3", len(samples))
+	}
+	if last := samples[len(samples)-1]; last.Value != 3 {
+		t.Errorf("last completed sample = %v, want 3", last.Value)
+	}
+}
+
+func TestRunnerSliceChurnDrivesManager(t *testing.T) {
+	spec := SliceChurn()
+	spec.Periods = 8 // keep both events inside the horizon
+	s, err := Run(spec, Options{Replicas: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice 2 was admitted at interval 30 and released at interval 70, so
+	// only the two permanent tenants remain.
+	if got := s.Algorithms[0].Replicas[0].ActiveSlices; got != 2 {
+		t.Errorf("final active slices = %d, want 2", got)
+	}
+}
+
+func TestRunnerTeardownWithoutAdmitFails(t *testing.T) {
+	spec := fastSpec()
+	spec.Events = []Event{{Kind: EventSliceTeardown, At: 35, Slice: 1}}
+	// Slice 1 has no admit event, so it is provisioned at start and the
+	// teardown must succeed, leaving one active slice.
+	s, err := Run(spec, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Algorithms[0].Replicas[0].ActiveSlices; got != 1 {
+		t.Errorf("final active slices = %d, want 1", got)
+	}
+}
+
+func TestRunnerRAFailureDegradesPerformance(t *testing.T) {
+	healthy := RAFailure()
+	healthy.Events = nil
+	degraded := RAFailure()
+	// Degrade both RAs hard for the whole run so the effect dominates noise.
+	degraded.Events = []Event{{Kind: EventRADegrade, At: 0, RA: -1, Factor: 0.25}}
+
+	hs, err := Run(healthy, Options{Replicas: 2, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Run(degraded, Options{Replicas: 2, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Algorithms[0].SSP.Mean >= hs.Algorithms[0].SSP.Mean {
+		t.Errorf("degraded SSP %v not worse than healthy %v",
+			ds.Algorithms[0].SSP.Mean, hs.Algorithms[0].SSP.Mean)
+	}
+}
+
+func TestRunnerFlashCrowdChangesOutcome(t *testing.T) {
+	base := fastSpec()
+	base.Events = nil
+	crowd := fastSpec() // flash crowd inside the measured window
+
+	bs, err := Run(base, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Run(crowd, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Algorithms[0].Replicas[0].SSP == cs.Algorithms[0].Replicas[0].SSP {
+		t.Error("flash-crowd event had no effect on SSP")
+	}
+}
+
+func TestRunnerSamePeriodEventsApplyChronologically(t *testing.T) {
+	// A degrade at 2 and a recover at 8 fall in the same period; applied
+	// in At order the net effect is nominal capacity, so the run must
+	// match an event-free run exactly. Listing the recover first would,
+	// under spec-order application, leave the RAs degraded.
+	withEvents := RAFailure()
+	withEvents.Periods = 4
+	withEvents.Events = []Event{
+		{Kind: EventRARecover, At: 8, RA: -1},
+		{Kind: EventRADegrade, At: 2, RA: -1, Factor: 0.1},
+	}
+	clean := RAFailure()
+	clean.Periods = 4
+	clean.Events = nil
+
+	a, err := Run(withEvents, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(clean, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Algorithms[0].Replicas[0].SSP != b.Algorithms[0].Replicas[0].SSP {
+		t.Errorf("degrade+recover in one period changed the run: %v vs %v",
+			a.Algorithms[0].Replicas[0].SSP, b.Algorithms[0].Replicas[0].SSP)
+	}
+}
+
+func TestValidateRejectsLifecycleConflicts(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"teardown before admit", []Event{
+			{Kind: EventSliceAdmit, At: 30, Slice: 0},
+			{Kind: EventSliceTeardown, At: 10, Slice: 0},
+		}},
+		{"teardown at interval zero", []Event{
+			{Kind: EventSliceTeardown, At: 0, Slice: 0},
+		}},
+		{"duplicate admit", []Event{
+			{Kind: EventSliceAdmit, At: 10, Slice: 0},
+			{Kind: EventSliceAdmit, At: 20, Slice: 0},
+		}},
+		{"duplicate teardown", []Event{
+			{Kind: EventSliceTeardown, At: 10, Slice: 0},
+			{Kind: EventSliceTeardown, At: 20, Slice: 0},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := fastSpec()
+			spec.Events = tc.events
+			if err := spec.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTrainingEnvsUseBaseSources(t *testing.T) {
+	// Deployment events are anchored to absolute run intervals, which have
+	// no meaning during offline training: the compiled training envs must
+	// carry the unmodulated base sources.
+	spec := SliceChurn()
+	cfg, err := spec.systemConfig(core.AlgoEdgeSlice, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.TrainEnvPerRA) != spec.NumRAs {
+		t.Fatalf("TrainEnvPerRA has %d entries, want %d", len(cfg.TrainEnvPerRA), spec.NumRAs)
+	}
+	const churned = 2 // slice with admit/teardown events
+	deploySrc := cfg.EnvPerRA[0].Sources[churned]
+	trainSrc := cfg.TrainEnvPerRA[0].Sources[churned]
+	if deploySrc.Rate(0) != 0 {
+		t.Errorf("deployment source rate %v before admission, want 0", deploySrc.Rate(0))
+	}
+	if trainSrc.Rate(0) == 0 {
+		t.Error("training source is gated to 0 at interval 0; must be the base source")
+	}
+}
+
+func TestRunnerRejectsInvalidSpec(t *testing.T) {
+	spec := fastSpec()
+	spec.NumRAs = 0
+	if _, err := Run(spec, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunnerLearningAlgorithm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	spec := fastSpec()
+	spec.Periods = 2
+	spec.Algorithms = []string{"edgeslice"}
+	spec.TrainSteps = 600
+	s, err := Run(spec, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Algorithms) != 1 || len(s.Algorithms[0].Replicas) != 1 {
+		t.Fatalf("unexpected summary shape: %+v", s)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	s := statsOf([]float64{4, 1, 3, 2, 5})
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.P5-1.2) > 1e-12 || math.Abs(s.P95-4.8) > 1e-12 {
+		t.Errorf("p5/p95 = %v/%v, want 1.2/4.8", s.P5, s.P95)
+	}
+	one := statsOf([]float64{7})
+	if one.Mean != 7 || one.P5 != 7 || one.P95 != 7 {
+		t.Errorf("single-sample stats = %+v", one)
+	}
+}
+
+func TestSystemConfigCompiles(t *testing.T) {
+	for _, name := range List() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := spec.systemConfig(core.AlgoTARO, spec.Seed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: compiled config invalid: %v", name, err)
+		}
+		if len(cfg.EnvPerRA) != spec.NumRAs {
+			t.Errorf("%s: %d per-RA envs, want %d", name, len(cfg.EnvPerRA), spec.NumRAs)
+		}
+	}
+}
