@@ -18,10 +18,13 @@ type Dense struct {
 	GradW *Matrix
 	GradB []float64
 
-	// Forward caches, needed by Backward.
-	lastInput *Matrix // (N×In)
-	lastPre   *Matrix // pre-activation z (N×Out)
-	lastOut   *Matrix // activation y (N×Out)
+	// Per-layer workspace, lazily sized to the largest batch seen and
+	// reused across steps so Forward/Backward allocate nothing at steady
+	// state. in holds a *copy* of the forward input — callers are free to
+	// reuse their input buffer between Forward and Backward without
+	// corrupting dW. pre and out cache z and y for Backward; dz and dx are
+	// backward scratch.
+	in, pre, out, dz, dx *Matrix
 }
 
 // NewDense returns a Dense layer with Xavier-initialized weights.
@@ -43,48 +46,49 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 }
 
 // Forward computes the layer output for a batch x of shape (N×In) and caches
-// intermediates for Backward.
+// intermediates for Backward. The returned matrix is owned by the layer and
+// is overwritten by the next Forward call; the input is copied into the
+// layer workspace, so the caller may reuse x freely afterwards.
 func (d *Dense) Forward(x *Matrix) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", x.Cols, d.In))
 	}
-	z := MatMulNT(x, d.W) // (N×Out)
+	in := ensureMat(&d.in, x.Rows, x.Cols)
+	copy(in.Data, x.Data)
+	z := ensureMat(&d.pre, x.Rows, d.Out)
+	MatMulNTInto(z, in, d.W)
 	for i := 0; i < z.Rows; i++ {
 		row := z.Row(i)
 		for j := range row {
 			row[j] += d.B[j]
 		}
 	}
-	y := NewMatrix(z.Rows, z.Cols)
+	y := ensureMat(&d.out, z.Rows, z.Cols)
 	for i := range z.Data {
 		y.Data[i] = d.Act.Apply(z.Data[i])
 	}
-	d.lastInput = x
-	d.lastPre = z
-	d.lastOut = y
 	return y
 }
 
 // Backward accumulates parameter gradients given dL/dy of shape (N×Out) and
-// returns dL/dx of shape (N×In). Forward must have been called first.
+// returns dL/dx of shape (N×In). Forward must have been called first. The
+// returned matrix is owned by the layer and is overwritten by the next
+// Backward call.
 func (d *Dense) Backward(gradOut *Matrix) *Matrix {
-	if d.lastInput == nil {
+	if d.in == nil {
 		panic("nn: Backward called before Forward")
 	}
-	if gradOut.Rows != d.lastPre.Rows || gradOut.Cols != d.Out {
+	if gradOut.Rows != d.pre.Rows || gradOut.Cols != d.Out {
 		panic(fmt.Sprintf("nn: dense backward shape (%d×%d), want (%d×%d)",
-			gradOut.Rows, gradOut.Cols, d.lastPre.Rows, d.Out))
+			gradOut.Rows, gradOut.Cols, d.pre.Rows, d.Out))
 	}
 	// dL/dz = dL/dy ⊙ act'(z)
-	dz := NewMatrix(gradOut.Rows, gradOut.Cols)
+	dz := ensureMat(&d.dz, gradOut.Rows, gradOut.Cols)
 	for i := range dz.Data {
-		dz.Data[i] = gradOut.Data[i] * d.Act.Derivative(d.lastPre.Data[i], d.lastOut.Data[i])
+		dz.Data[i] = gradOut.Data[i] * d.Act.Derivative(d.pre.Data[i], d.out.Data[i])
 	}
 	// dW += dzᵀ · x ; db += colsum(dz)
-	dw := MatMulTN(dz, d.lastInput)
-	for i := range d.GradW.Data {
-		d.GradW.Data[i] += dw.Data[i]
-	}
+	matMulTNAcc(d.GradW, dz, d.in)
 	for i := 0; i < dz.Rows; i++ {
 		row := dz.Row(i)
 		for j := range row {
@@ -92,7 +96,7 @@ func (d *Dense) Backward(gradOut *Matrix) *Matrix {
 		}
 	}
 	// dL/dx = dz · W
-	return MatMulNN(dz, d.W)
+	return MatMulNNInto(ensureMat(&d.dx, gradOut.Rows, d.In), dz, d.W)
 }
 
 // ZeroGrad clears accumulated gradients.

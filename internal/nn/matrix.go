@@ -68,6 +68,34 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// Resize reshapes m to rows×cols in place, reusing the backing array when
+// its capacity suffices. Element values are undefined after a resize that
+// changes the element count; callers are expected to overwrite them.
+func (m *Matrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+}
+
+// ensureMat lazily allocates *m on first use and resizes it afterwards,
+// reusing its backing array. It is the basic building block of the
+// per-layer workspaces: the matrix grows to the largest shape ever
+// requested and is reused across training steps.
+func ensureMat(m **Matrix, rows, cols int) *Matrix {
+	if *m == nil {
+		*m = NewMatrix(rows, cols)
+		return *m
+	}
+	(*m).Resize(rows, cols)
+	return *m
+}
+
 // RandomizeXavier fills the matrix with Xavier/Glorot-uniform values for a
 // layer with fanIn inputs and fanOut outputs.
 func (m *Matrix) RandomizeXavier(rng *rand.Rand, fanIn, fanOut int) {
@@ -93,10 +121,18 @@ func xavierLimit(fanIn, fanOut int) float64 {
 // (n×m) result. This is the layout used by dense-layer forward passes where
 // weights are stored as (out×in).
 func MatMulNT(a, b *Matrix) *Matrix {
+	return MatMulNTInto(NewMatrix(a.Rows, b.Rows), a, b)
+}
+
+// MatMulNTInto computes C = A * Bᵀ into the preallocated (a.Rows×b.Rows)
+// matrix c and returns it. c must not alias a or b.
+func MatMulNTInto(c, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulNT inner dim mismatch %d != %d", a.Cols, b.Cols))
 	}
-	c := NewMatrix(a.Rows, b.Rows)
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulNTInto dst is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		ar := a.Row(i)
 		cr := c.Row(i)
@@ -114,10 +150,24 @@ func MatMulNT(a, b *Matrix) *Matrix {
 
 // MatMulNN computes C = A * B where A is (n×k) and B is (k×m).
 func MatMulNN(a, b *Matrix) *Matrix {
+	return MatMulNNInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MatMulNNInto computes C = A * B into the preallocated (a.Rows×b.Cols)
+// matrix c and returns it. c must not alias a or b.
+func MatMulNNInto(c, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulNN inner dim mismatch %d != %d", a.Cols, b.Rows))
 	}
-	c := NewMatrix(a.Rows, b.Cols)
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulNNInto dst is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	c.Zero()
+	matMulNNAcc(c, a, b)
+	return c
+}
+
+func matMulNNAcc(c, a, b *Matrix) {
 	for i := 0; i < a.Rows; i++ {
 		ar := a.Row(i)
 		cr := c.Row(i)
@@ -131,16 +181,31 @@ func MatMulNN(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return c
 }
 
 // MatMulTN computes C = Aᵀ * B where A is (k×n) and B is (k×m), yielding an
 // (n×m) result. Used for weight gradients: dW = dYᵀ · X.
 func MatMulTN(a, b *Matrix) *Matrix {
+	return MatMulTNInto(NewMatrix(a.Cols, b.Cols), a, b)
+}
+
+// MatMulTNInto computes C = Aᵀ * B into the preallocated (a.Cols×b.Cols)
+// matrix c and returns it. c must not alias a or b.
+func MatMulTNInto(c, a, b *Matrix) *Matrix {
+	if c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulTNInto dst is %dx%d, want %dx%d", c.Rows, c.Cols, a.Cols, b.Cols))
+	}
+	c.Zero()
+	matMulTNAcc(c, a, b)
+	return c
+}
+
+// matMulTNAcc accumulates C += Aᵀ * B without zeroing c first — the form
+// gradient accumulation wants (dW += dzᵀ·x).
+func matMulTNAcc(c, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulTN inner dim mismatch %d != %d", a.Rows, b.Rows))
 	}
-	c := NewMatrix(a.Cols, b.Cols)
 	for k := 0; k < a.Rows; k++ {
 		ar := a.Row(k)
 		br := b.Row(k)
@@ -154,7 +219,6 @@ func MatMulTN(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return c
 }
 
 func sqrt(x float64) float64 {

@@ -9,6 +9,9 @@ import (
 // Network is a multilayer perceptron: a sequence of Dense layers.
 type Network struct {
 	Layers []*Dense
+
+	in1    *Matrix     // Forward1 input scratch
+	params []ParamGrad // cached Params() result; nil until first use
 }
 
 // LayerSpec describes one layer of an MLP.
@@ -37,7 +40,10 @@ func (n *Network) InputDim() int { return n.Layers[0].In }
 // OutputDim returns the output width.
 func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
 
-// Forward runs a batch (N×InputDim) through the network.
+// Forward runs a batch (N×InputDim) through the network. The returned
+// matrix is owned by the final layer's workspace and is overwritten by the
+// next Forward call on this network; the input is copied, so the caller may
+// reuse x freely.
 func (n *Network) Forward(x *Matrix) *Matrix {
 	y := x
 	for _, l := range n.Layers {
@@ -46,9 +52,12 @@ func (n *Network) Forward(x *Matrix) *Matrix {
 	return y
 }
 
-// Forward1 runs a single input vector and returns a single output vector.
+// Forward1 runs a single input vector and returns a freshly allocated
+// output vector.
 func (n *Network) Forward1(x []float64) []float64 {
-	out := n.Forward(FromRows([][]float64{x}))
+	in := ensureMat(&n.in1, 1, len(x))
+	copy(in.Data, x)
+	out := n.Forward(in)
 	return append([]float64(nil), out.Row(0)...)
 }
 
@@ -104,8 +113,13 @@ func (n *Network) SoftUpdate(src *Network, tau float64) {
 }
 
 // Params returns flat views of every parameter tensor paired with its
-// gradient, for optimizers.
+// gradient, for optimizers. The slice is built once and cached — parameter
+// and gradient buffers are stable for the life of the network — so calling
+// it in an optimizer step allocates nothing.
 func (n *Network) Params() []ParamGrad {
+	if n.params != nil {
+		return n.params
+	}
 	out := make([]ParamGrad, 0, 2*len(n.Layers))
 	for _, l := range n.Layers {
 		out = append(out,
@@ -113,6 +127,7 @@ func (n *Network) Params() []ParamGrad {
 			ParamGrad{Value: l.B, Grad: l.GradB},
 		)
 	}
+	n.params = out
 	return out
 }
 
@@ -233,5 +248,6 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 		layers = append(layers, d)
 	}
 	n.Layers = layers
+	n.params = nil // layer buffers were replaced; rebuild the cache lazily
 	return nil
 }

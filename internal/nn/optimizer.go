@@ -5,6 +5,8 @@ import "math"
 // Optimizer updates network parameters from their accumulated gradients.
 // Implementations assume gradients are for *minimization*; callers that
 // maximize (e.g. the DDPG actor, Eq. 18) negate gradients before stepping.
+// Steps are allocation-free at steady state: per-network moment buffers
+// are created on first use and reused, and Network.Params is cached.
 type Optimizer interface {
 	// Step applies one update to every parameter of the network and leaves
 	// gradients untouched (callers ZeroGrad between steps).

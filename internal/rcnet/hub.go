@@ -11,13 +11,23 @@ import (
 // Hub is the coordinator-side endpoint: it accepts agent registrations,
 // broadcasts coordinating information, and collects per-period performance
 // reports.
+//
+// Writes to agents are bounded: Broadcast and Shutdown apply a write
+// deadline (SetWriteTimeout, default 5s) and never hold the hub lock
+// across a network write, so one stalled agent cannot head-of-line block
+// the round for healthy RAs or deadlock dropConn/Shutdown. A connection
+// that misses its write deadline is dropped; the agent must re-register.
 type Hub struct {
 	ln        net.Listener
 	numSlices int
 	numRAs    int
 
-	mu    sync.Mutex
-	conns map[int]net.Conn // registered RA -> connection
+	writeTimeout time.Duration
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn      // registered RA -> connection
+	live     map[net.Conn]struct{} // every accepted conn, incl. pre-registration
+	shutdown bool                  // no new conns are tracked once set
 
 	reports    chan Envelope
 	registered chan int
@@ -38,21 +48,33 @@ func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 		return nil, fmt.Errorf("rcnet: listen %s: %w", addr, err)
 	}
 	h := &Hub{
-		ln:         ln,
-		numSlices:  numSlices,
-		numRAs:     numRAs,
-		conns:      make(map[int]net.Conn, numRAs),
-		reports:    make(chan Envelope, numRAs),
-		registered: make(chan int, numRAs),
-		closed:     make(chan struct{}),
+		ln:           ln,
+		numSlices:    numSlices,
+		numRAs:       numRAs,
+		writeTimeout: defaultWriteTimeout,
+		conns:        make(map[int]net.Conn, numRAs),
+		live:         make(map[net.Conn]struct{}, numRAs),
+		reports:      make(chan Envelope, numRAs),
+		registered:   make(chan int, numRAs),
+		closed:       make(chan struct{}),
 	}
 	h.acceptWG.Add(1)
 	go h.acceptLoop()
 	return h, nil
 }
 
+// defaultWriteTimeout bounds how long a Broadcast or Shutdown write may
+// block on one agent's connection before the hub drops it.
+const defaultWriteTimeout = 5 * time.Second
+
 // Addr returns the listening address (useful with port 0).
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// SetWriteTimeout overrides the per-connection write deadline used by
+// Broadcast and Shutdown (0 or negative disables it). Call before the
+// orchestration loop starts; it is not safe to change concurrently with
+// Broadcast.
+func (h *Hub) SetWriteTimeout(d time.Duration) { h.writeTimeout = d }
 
 func (h *Hub) acceptLoop() {
 	defer h.acceptWG.Done()
@@ -69,6 +91,21 @@ func (h *Hub) acceptLoop() {
 // handleConn performs registration then pumps reports into the channel.
 func (h *Hub) handleConn(conn net.Conn) {
 	defer h.readerWG.Done()
+	// Track the connection before any blocking read so Shutdown can close
+	// it and unblock this goroutine even if the peer stalls mid-register.
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	h.live[conn] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.live, conn)
+		h.mu.Unlock()
+	}()
 	br := newReader(conn)
 	msg, err := readMsg(br)
 	if err != nil || msg.Type != MsgRegister || msg.RA < 0 || msg.RA >= h.numRAs {
@@ -83,10 +120,25 @@ func (h *Hub) handleConn(conn net.Conn) {
 	}
 	h.conns[msg.RA] = conn
 	h.mu.Unlock()
+	// Wake any WaitRegistered caller without ever blocking: when agents
+	// reconnect after WaitRegistered has already returned, the buffered
+	// channel fills with notifications nobody drains, and a blocking send
+	// would park this goroutine before its read loop starts, leaving the
+	// reconnected agent permanently unserved (and the goroutine leaked).
+	// The channel is only a wakeup signal — WaitRegistered recounts
+	// h.conns itself — so on a full channel the oldest entry is dropped,
+	// and losing a notification merely delays the waiter's next recount.
 	select {
 	case h.registered <- msg.RA:
-	case <-h.closed:
-		return
+	default:
+		select {
+		case <-h.registered:
+		default:
+		}
+		select {
+		case h.registered <- msg.RA:
+		default:
+		}
 	}
 	for {
 		m, err := readMsg(br)
@@ -114,48 +166,82 @@ func (h *Hub) dropConn(ra int, conn net.Conn) {
 	_ = conn.Close()
 }
 
-// WaitRegistered blocks until all RAs have registered or the timeout
-// expires.
+// WaitRegistered blocks until every RA is simultaneously registered or the
+// timeout expires. The registration map is the ground truth; the channel
+// (plus a coarse ticker, in case a wakeup was dropped) only paces the
+// recounts.
 func (h *Hub) WaitRegistered(timeout time.Duration) error {
-	seen := make(map[int]bool, h.numRAs)
 	deadlineC := time.After(timeout)
-	for len(seen) < h.numRAs {
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		h.mu.Lock()
+		n := len(h.conns)
+		h.mu.Unlock()
+		if n >= h.numRAs {
+			return nil
+		}
 		select {
-		case ra := <-h.registered:
-			seen[ra] = true
+		case <-h.registered:
+		case <-ticker.C:
 		case <-deadlineC:
-			return fmt.Errorf("rcnet: %d/%d agents registered before timeout", len(seen), h.numRAs)
+			return fmt.Errorf("rcnet: %d/%d agents registered before timeout", n, h.numRAs)
 		case <-h.closed:
 			return errors.New("rcnet: hub closed")
 		}
 	}
-	return nil
 }
 
 // Broadcast sends each RA its coordination column for the period. z and y
 // are [slice][ra] grids.
+//
+// Connections are snapshotted under the lock and written outside it with a
+// write deadline, so a stalled agent delays the round by at most the write
+// timeout, never blocks healthy RAs' writes, and never wedges callers that
+// need the hub lock (dropConn, Shutdown). A connection that fails or times
+// out is dropped and reported; the remaining RAs still receive their
+// coordination. Broadcast is intended to be called from a single
+// coordinator loop, not concurrently.
 func (h *Hub) Broadcast(period int, z, y [][]float64) error {
 	if len(z) != h.numSlices || len(y) != h.numSlices {
 		return fmt.Errorf("rcnet: coordination grids have %d/%d slices, want %d", len(z), len(y), h.numSlices)
 	}
+	conns := make([]net.Conn, h.numRAs)
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	for ra := 0; ra < h.numRAs; ra++ {
 		conn, ok := h.conns[ra]
 		if !ok {
+			h.mu.Unlock()
 			return fmt.Errorf("rcnet: RA %d not connected", ra)
 		}
+		conns[ra] = conn
+	}
+	h.mu.Unlock()
+
+	var firstErr error
+	for ra, conn := range conns {
 		zCol := make([]float64, h.numSlices)
 		yCol := make([]float64, h.numSlices)
 		for i := 0; i < h.numSlices; i++ {
 			zCol[i] = z[i][ra]
 			yCol[i] = y[i][ra]
 		}
-		if err := writeMsg(conn, Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol}); err != nil {
-			return fmt.Errorf("rcnet: broadcast to RA %d: %w", ra, err)
+		// The deadline is deliberately not cleared afterwards: every writer
+		// (Broadcast, Shutdown) sets its own before writing, and clearing
+		// it here would race with a concurrent Shutdown's deadline on the
+		// same conn, un-bounding its shutdown notification.
+		_ = conn.SetWriteDeadline(deadline(conn, h.writeTimeout))
+		err := writeMsg(conn, Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol})
+		if err != nil {
+			// Drop the stalled/broken connection so the next round fails
+			// fast ("not connected") instead of stalling again.
+			h.dropConn(ra, conn)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rcnet: broadcast to RA %d: %w", ra, err)
+			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Collect waits for a perf report from every RA for the given period and
@@ -194,13 +280,27 @@ func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
 func (h *Hub) Shutdown() error {
 	var err error
 	h.closeOnce.Do(func() {
+		// Snapshot every live connection — including ones stalled before
+		// or mid-registration — so closing them unblocks every reader
+		// goroutine; otherwise readerWG.Wait below could hang forever on a
+		// peer that connected but never completed its register frame. The
+		// shutdown flag stops handleConn from tracking (and blocking on)
+		// conns accepted after this snapshot.
 		h.mu.Lock()
-		for _, conn := range h.conns {
-			_ = writeMsg(conn, Envelope{Type: MsgShutdown})
-			_ = conn.Close()
+		h.shutdown = true
+		conns := make([]net.Conn, 0, len(h.live))
+		for conn := range h.live {
+			conns = append(conns, conn)
 		}
 		h.conns = make(map[int]net.Conn)
 		h.mu.Unlock()
+		// Notify outside the lock with a write deadline: a stalled agent
+		// must not be able to wedge shutdown.
+		for _, conn := range conns {
+			_ = conn.SetWriteDeadline(deadline(conn, h.writeTimeout))
+			_ = writeMsg(conn, Envelope{Type: MsgShutdown})
+			_ = conn.Close()
+		}
 		close(h.closed)
 		err = h.ln.Close()
 		h.acceptWG.Wait()

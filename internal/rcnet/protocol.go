@@ -11,6 +11,12 @@
 //	hub → agent:  coordination{period, z, y}
 //	agent → hub:  perf_report{ra, period, perf}
 //	hub → agent:  shutdown{}
+//
+// Hub-side writes carry a write deadline (Hub.SetWriteTimeout, default 5s)
+// and happen outside the hub lock: an agent that stops reading delays a
+// coordination round by at most the write timeout, after which its
+// connection is dropped and it must re-register. Healthy agents still
+// receive their coordination in the same round.
 package rcnet
 
 import (

@@ -174,6 +174,161 @@ func TestAgentDisconnectMidRound(t *testing.T) {
 	}
 }
 
+// Regression: a stalled agent (registered but never reading) must not
+// head-of-line block Broadcast for healthy RAs. The hub writes outside its
+// lock with a write deadline and drops the offender.
+func TestBroadcastSurvivesStalledAgent(t *testing.T) {
+	const numSlices = 2048 // big frames so the stalled socket fills quickly
+	h, err := NewHub("127.0.0.1:0", numSlices, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+	h.SetWriteTimeout(150 * time.Millisecond)
+
+	// RA 0 is healthy and keeps draining coordination messages.
+	c0, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	received := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			if _, _, _, err := c0.RecvCoordination(time.Second); err != nil {
+				received <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	// RA 1 registers and then never reads.
+	stalled, err := net.Dial("tcp", h.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if err := writeMsg(stalled, Envelope{Type: MsgRegister, RA: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	z := make([][]float64, numSlices)
+	y := make([][]float64, numSlices)
+	for i := range z {
+		z[i] = []float64{0.123456789, 0.987654321}
+		y[i] = []float64{0.123456789, 0.987654321}
+	}
+	var broadcasts int
+	var bErr error
+	for i := 0; i < 1000 && bErr == nil; i++ {
+		bErr = h.Broadcast(i, z, y)
+		broadcasts++
+	}
+	if bErr == nil {
+		t.Fatal("broadcast never failed although RA 1 stopped reading")
+	}
+
+	// The offender was dropped: the next round fails fast instead of
+	// stalling again.
+	if err := h.Broadcast(broadcasts, z, y); err == nil {
+		t.Error("broadcast should fail once the stalled RA was dropped")
+	}
+
+	// The healthy RA received its coordination in every round, including
+	// the one where RA 1 timed out.
+	n := <-received
+	if n != broadcasts {
+		t.Errorf("healthy RA received %d/%d coordination messages", n, broadcasts)
+	}
+}
+
+// Regression: an agent reconnecting after WaitRegistered has returned must
+// still be served. The buffered registration channel can be full of stale
+// notifications; the hub used to block its per-connection goroutine on the
+// send, so the reconnected agent's reports were never pumped.
+func TestReconnectAfterWaitRegistered(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+
+	dial := func() *AgentClient {
+		t.Helper()
+		c, err := DialAgent(h.Addr(), 0, testTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	grid := [][]float64{{0}}
+	waitConnected := func(period int) {
+		t.Helper()
+		deadline := time.Now().Add(testTimeout)
+		for {
+			if err := h.Broadcast(period, grid, grid); err == nil {
+				return
+			} else if time.Now().After(deadline) {
+				t.Fatalf("agent never became usable: %v", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitDisconnected := func() {
+		t.Helper()
+		deadline := time.Now().Add(testTimeout)
+		for h.Broadcast(-1, grid, grid) == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("hub never noticed the disconnect")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	c0 := dial()
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	_ = c0.Close()
+	waitDisconnected()
+
+	// First reconnect fills the (capacity-1) registration channel that
+	// nobody drains any more.
+	c1 := dial()
+	waitConnected(1)
+	_ = c1.Close()
+	waitDisconnected()
+
+	// Second reconnect hits the full channel. It must still get a working
+	// read loop: coordination in, perf report out, Collect succeeds.
+	c2 := dial()
+	defer c2.Close()
+	waitConnected(2)
+	period := -1
+	for period != 2 { // skip frames from earlier rounds
+		p, _, _, err := c2.RecvCoordination(testTimeout)
+		if err != nil {
+			t.Fatalf("reconnected agent got no coordination: %v", err)
+		}
+		period = p
+	}
+	if err := c2.ReportPerf(period, []float64{-1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	perf, err := h.Collect(period, testTimeout)
+	if err != nil {
+		t.Fatalf("reconnected agent's report was never pumped: %v", err)
+	}
+	if perf[0][0] != -1 {
+		t.Errorf("perf = %v, want [[-1]]", perf)
+	}
+}
+
 // End-to-end: full distributed Algorithm 1 over real TCP with simulated
 // environments and the TARO policy (no training needed for a protocol test).
 func TestDistributedOrchestration(t *testing.T) {

@@ -68,6 +68,12 @@ type Agent struct {
 
 	stateDim, actionDim int
 	updates             int
+
+	// Update-step scratch, reused across steps so a warm update allocates
+	// nothing: the sampled batch and the workspace all batch matrices are
+	// drawn from.
+	batch []rl.Transition
+	ws    nn.Workspace
 }
 
 var _ rl.Agent = (*Agent)(nil)
@@ -154,31 +160,36 @@ func (a *Agent) ReplayLen() int { return a.replay.Len() }
 
 // Update performs one gradient update of critic and actor plus soft target
 // updates. It is a no-op until the replay buffer holds WarmupSteps
-// transitions.
+// transitions. All batch matrices are drawn from the agent's workspace, so
+// a warm update step is allocation-free.
 func (a *Agent) Update() error {
 	if a.replay.Len() < a.cfg.WarmupSteps || a.replay.Len() < 2 {
 		return nil
 	}
-	batch, err := a.replay.Sample(a.rng, a.cfg.BatchSize)
-	if err != nil {
+	if cap(a.batch) < a.cfg.BatchSize {
+		a.batch = make([]rl.Transition, a.cfg.BatchSize)
+	}
+	batch := a.batch[:a.cfg.BatchSize]
+	if err := a.replay.SampleInto(a.rng, batch); err != nil {
 		return fmt.Errorf("ddpg: %w", err)
 	}
 	n := len(batch)
+	a.ws.Reset()
 
 	// ---- Critic update: minimize MSBE (Eq. 16/17). ----
-	nextStates := make([][]float64, n)
+	nextStates := a.ws.Next(n, a.stateDim)
 	for i, tr := range batch {
-		nextStates[i] = tr.NextState
+		copy(nextStates.Row(i), tr.NextState)
 	}
-	nextActions := a.actorTarget.Forward(nn.FromRows(nextStates))
-	targetIn := nn.NewMatrix(n, a.stateDim+a.actionDim)
+	nextActions := a.actorTarget.Forward(nextStates)
+	targetIn := a.ws.Next(n, a.stateDim+a.actionDim)
 	for i, tr := range batch {
 		row := targetIn.Row(i)
 		copy(row, tr.NextState)
 		copy(row[a.stateDim:], nextActions.Row(i))
 	}
 	targetQ := a.criticTarget.Forward(targetIn)
-	targets := make([]float64, n)
+	targets := a.ws.Floats(n)
 	for i, tr := range batch {
 		g := tr.Reward
 		if !tr.Done {
@@ -187,14 +198,14 @@ func (a *Agent) Update() error {
 		targets[i] = g
 	}
 
-	criticIn := nn.NewMatrix(n, a.stateDim+a.actionDim)
+	criticIn := a.ws.Next(n, a.stateDim+a.actionDim)
 	for i, tr := range batch {
 		row := criticIn.Row(i)
 		copy(row, tr.State)
 		copy(row[a.stateDim:], tr.Action)
 	}
 	q := a.critic.Forward(criticIn)
-	grad := nn.NewMatrix(n, 1)
+	grad := a.ws.Next(n, 1)
 	for i := range targets {
 		grad.Set(i, 0, (q.At(i, 0)-targets[i])/float64(n))
 	}
@@ -203,21 +214,20 @@ func (a *Agent) Update() error {
 	a.criticOpt.Step(a.critic)
 
 	// ---- Actor update: deterministic policy gradient (Eq. 18). ----
-	states := make([][]float64, n)
+	states := a.ws.Next(n, a.stateDim)
 	for i, tr := range batch {
-		states[i] = tr.State
+		copy(states.Row(i), tr.State)
 	}
-	stateBatch := nn.FromRows(states)
-	actions := a.actor.Forward(stateBatch)
-	actIn := nn.NewMatrix(n, a.stateDim+a.actionDim)
+	actions := a.actor.Forward(states)
+	actIn := a.ws.Next(n, a.stateDim+a.actionDim)
 	for i := range batch {
 		row := actIn.Row(i)
-		copy(row, states[i])
+		copy(row, states.Row(i))
 		copy(row[a.stateDim:], actions.Row(i))
 	}
 	a.critic.ZeroGrad() // we only want input grads, not critic param grads
 	qa := a.critic.Forward(actIn)
-	ones := nn.NewMatrix(qa.Rows, 1)
+	ones := a.ws.Next(qa.Rows, 1)
 	for i := 0; i < qa.Rows; i++ {
 		// Maximize mean Q: upstream gradient 1/n; optimizer minimizes, so
 		// negate when passing into the actor below.
@@ -226,7 +236,7 @@ func (a *Agent) Update() error {
 	dIn := a.critic.Backward(ones)
 	a.critic.ZeroGrad() // discard critic grads accumulated by the chain rule
 
-	dAction := nn.NewMatrix(n, a.actionDim)
+	dAction := a.ws.Next(n, a.actionDim)
 	for i := 0; i < n; i++ {
 		src := dIn.Row(i)[a.stateDim:]
 		dst := dAction.Row(i)

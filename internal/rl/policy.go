@@ -16,6 +16,11 @@ type GaussianPolicy struct {
 	Mean       *nn.Network
 	LogStd     []float64
 	LogStdGrad []float64
+
+	// ws holds batch scratch (input matrices, score gradients) reused
+	// across calls; every exported method resets it on entry, so no
+	// returned value may alias it.
+	ws nn.Workspace
 }
 
 // NewGaussianPolicy builds a policy for the given state/action sizes with
@@ -77,11 +82,14 @@ func (p *GaussianPolicy) logProbGivenMean(mean, action []float64) float64 {
 }
 
 // LogProbBatch computes log-probabilities for a batch in one forward pass.
+// The returned slice is freshly allocated (PPO keeps the old log-probs
+// across epochs); only the input matrix is drawn from the scratch arena.
 func (p *GaussianPolicy) LogProbBatch(states, actions [][]float64) []float64 {
 	if len(states) != len(actions) {
 		panic(fmt.Sprintf("rl: LogProbBatch length mismatch %d vs %d", len(states), len(actions)))
 	}
-	means := p.Mean.Forward(nn.FromRows(states))
+	p.ws.Reset()
+	means := p.Mean.Forward(p.ws.FromRows(states))
 	out := make([]float64, len(states))
 	for i := range states {
 		out[i] = p.logProbGivenMean(means.Row(i), actions[i])
@@ -103,9 +111,10 @@ func (p *GaussianPolicy) AccumulateScoreGrad(states, actions [][]float64, coef [
 	if len(states) != len(actions) || len(states) != len(coef) {
 		panic("rl: AccumulateScoreGrad length mismatch")
 	}
-	batch := nn.FromRows(states)
+	p.ws.Reset()
+	batch := p.ws.FromRows(states)
 	means := p.Mean.Forward(batch)
-	gradMean := nn.NewMatrix(means.Rows, means.Cols)
+	gradMean := p.ws.NextZeroed(means.Rows, means.Cols)
 	for i := range states {
 		mrow := means.Row(i)
 		grow := gradMean.Row(i)
@@ -147,7 +156,8 @@ func (p *GaussianPolicy) StepLogStd(lr float64) {
 // (with oldLogStd) and the current policy on the same states. Used by TRPO's
 // trust-region check.
 func (p *GaussianPolicy) KLMeanDiff(states [][]float64, oldMeans [][]float64, oldLogStd []float64) float64 {
-	means := p.Mean.Forward(nn.FromRows(states))
+	p.ws.Reset()
+	means := p.Mean.Forward(p.ws.FromRows(states))
 	var kl float64
 	for i := range states {
 		row := means.Row(i)

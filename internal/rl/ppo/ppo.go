@@ -55,6 +55,13 @@ type Agent struct {
 	value  *nn.Network
 	popt   *nn.Adam
 	vopt   *nn.Adam
+
+	// Minibatch scratch reused across update steps: the shuffled index
+	// permutation and the gathered minibatch views/coefficients.
+	idx       []int
+	mbStates  [][]float64
+	mbActions [][]float64
+	coef      []float64
 }
 
 var _ rl.Agent = (*Agent)(nil)
@@ -99,7 +106,10 @@ func (a *Agent) Train(env rl.Env, steps int) error {
 
 		oldLogP := a.policy.LogProbBatch(states, actions)
 
-		idx := make([]int, len(states))
+		if cap(a.idx) < len(states) {
+			a.idx = make([]int, len(states))
+		}
+		idx := a.idx[:len(states)]
 		for i := range idx {
 			idx[i] = i
 		}
@@ -121,10 +131,16 @@ func (a *Agent) Train(env rl.Env, steps int) error {
 }
 
 // updateMinibatch applies one clipped-surrogate gradient step on the
-// minibatch indices mb.
+// minibatch indices mb. The gather buffers live on the agent and are
+// reused across minibatches.
 func (a *Agent) updateMinibatch(states, actions [][]float64, adv, oldLogP []float64, mb []int) {
-	mbStates := make([][]float64, len(mb))
-	mbActions := make([][]float64, len(mb))
+	if cap(a.mbStates) < len(mb) {
+		a.mbStates = make([][]float64, len(mb))
+		a.mbActions = make([][]float64, len(mb))
+		a.coef = make([]float64, len(mb))
+	}
+	mbStates := a.mbStates[:len(mb)]
+	mbActions := a.mbActions[:len(mb)]
 	for i, j := range mb {
 		mbStates[i] = states[j]
 		mbActions[i] = actions[j]
@@ -133,7 +149,10 @@ func (a *Agent) updateMinibatch(states, actions [][]float64, adv, oldLogP []floa
 
 	// The clipped surrogate L = E[min(r·A, clip(r, 1±ε)·A)] has gradient
 	// r·A·∇logπ wherever the unclipped branch is active and 0 otherwise.
-	coef := make([]float64, len(mb))
+	coef := a.coef[:len(mb)]
+	for i := range coef {
+		coef[i] = 0
+	}
 	for i, j := range mb {
 		ratio := math.Exp(newLogP[i] - oldLogP[j])
 		active := !(adv[j] > 0 && ratio > 1+a.cfg.Clip) && !(adv[j] < 0 && ratio < 1-a.cfg.Clip)

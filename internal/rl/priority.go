@@ -11,14 +11,19 @@ import (
 // uniform replay: transitions are sampled with probability proportional to
 // priority^alpha, and importance-sampling weights correct the induced bias.
 // Priorities are typically TD errors, updated after each learning step.
+//
+// Sampling probabilities are maintained in a sum tree, so both a draw and a
+// priority update cost O(log capacity) instead of the O(capacity) prefix
+// scan a flat array needs — at the 100k capacities the DDPG agents use this
+// is the difference between microseconds and milliseconds per batch.
 type PrioritizedReplay struct {
 	capacity int
 	alpha    float64
 
-	buf        []Transition
-	priorities []float64
-	next       int
-	maxPrio    float64
+	buf     []Transition
+	tree    *sumTree // leaf i holds priority_i^alpha
+	next    int      // eviction cursor: oldest transition once full
+	maxPrio float64
 }
 
 // NewPrioritizedReplay creates a buffer with the given capacity and
@@ -31,24 +36,26 @@ func NewPrioritizedReplay(capacity int, alpha float64) (*PrioritizedReplay, erro
 		return nil, fmt.Errorf("rl: negative prioritization exponent %v", alpha)
 	}
 	return &PrioritizedReplay{
-		capacity:   capacity,
-		alpha:      alpha,
-		buf:        make([]Transition, 0, capacity),
-		priorities: make([]float64, 0, capacity),
-		maxPrio:    1,
+		capacity: capacity,
+		alpha:    alpha,
+		buf:      make([]Transition, 0, capacity),
+		tree:     newSumTree(capacity),
+		maxPrio:  1,
 	}, nil
 }
 
 // Add stores a transition with the current maximum priority so new
-// experience is sampled at least once soon.
+// experience is sampled at least once soon. Once full, the oldest
+// transition (FIFO order) is evicted.
 func (p *PrioritizedReplay) Add(t Transition) {
+	w := math.Pow(p.maxPrio, p.alpha)
 	if len(p.buf) < p.capacity {
 		p.buf = append(p.buf, t)
-		p.priorities = append(p.priorities, p.maxPrio)
+		p.tree.Set(len(p.buf)-1, w)
 		return
 	}
 	p.buf[p.next] = t
-	p.priorities[p.next] = p.maxPrio
+	p.tree.Set(p.next, w)
 	p.next = (p.next + 1) % p.capacity
 }
 
@@ -58,36 +65,27 @@ func (p *PrioritizedReplay) Len() int { return len(p.buf) }
 // Sample draws n transitions with probability ∝ priority^alpha. It returns
 // the transitions, their buffer indices (for UpdatePriorities), and their
 // importance-sampling weights normalized to max 1, computed with the given
-// beta exponent.
+// beta exponent. Each draw costs O(log capacity).
 func (p *PrioritizedReplay) Sample(rng *rand.Rand, n int, beta float64) ([]Transition, []int, []float64, error) {
+	if n <= 0 {
+		return nil, nil, nil, fmt.Errorf("rl: invalid prioritized sample size %d", n)
+	}
 	if len(p.buf) == 0 {
 		return nil, nil, nil, fmt.Errorf("rl: sample from empty prioritized replay")
 	}
-	weights := make([]float64, len(p.buf))
-	var total float64
-	for i, prio := range p.priorities {
-		w := math.Pow(prio, p.alpha)
-		weights[i] = w
-		total += w
-	}
+	total := p.tree.Total()
 	out := make([]Transition, n)
 	idx := make([]int, n)
 	isw := make([]float64, n)
 	maxW := 0.0
 	for k := 0; k < n; k++ {
-		r := rng.Float64() * total
-		var acc float64
-		chosen := len(p.buf) - 1
-		for i, w := range weights {
-			acc += w
-			if r <= acc {
-				chosen = i
-				break
-			}
+		chosen := p.tree.Find(rng.Float64() * total)
+		if chosen >= len(p.buf) {
+			chosen = len(p.buf) - 1 // numeric edge: r landed at/after Total
 		}
 		out[k] = p.buf[chosen]
 		idx[k] = chosen
-		prob := weights[chosen] / total
+		prob := p.tree.Get(chosen) / total
 		isw[k] = math.Pow(float64(len(p.buf))*prob, -beta)
 		if isw[k] > maxW {
 			maxW = isw[k]
@@ -102,20 +100,20 @@ func (p *PrioritizedReplay) Sample(rng *rand.Rand, n int, beta float64) ([]Trans
 }
 
 // UpdatePriorities installs new priorities (e.g. |TD error| + ε) for the
-// sampled indices.
+// sampled indices. Each update costs O(log capacity).
 func (p *PrioritizedReplay) UpdatePriorities(idx []int, prios []float64) error {
 	if len(idx) != len(prios) {
 		return fmt.Errorf("rl: %d indices vs %d priorities", len(idx), len(prios))
 	}
 	for k, i := range idx {
-		if i < 0 || i >= len(p.priorities) {
+		if i < 0 || i >= len(p.buf) {
 			return fmt.Errorf("rl: priority index %d out of range", i)
 		}
 		prio := prios[k]
 		if prio <= 0 {
 			prio = 1e-6
 		}
-		p.priorities[i] = prio
+		p.tree.Set(i, math.Pow(prio, p.alpha))
 		if prio > p.maxPrio {
 			p.maxPrio = prio
 		}

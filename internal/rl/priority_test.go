@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -77,6 +78,132 @@ func TestUpdatePrioritiesValidation(t *testing.T) {
 	// Non-positive priorities are floored, not rejected.
 	if err := p.UpdatePriorities([]int{0}, []float64{0}); err != nil {
 		t.Errorf("zero priority should be floored: %v", err)
+	}
+}
+
+// Empirical sampling frequencies must match priority^alpha proportions at
+// a fixed seed, including for a capacity that is not a power of two (the
+// sum tree pads its leaves).
+func TestSumTreeSamplingFrequencies(t *testing.T) {
+	const (
+		capacity = 12 // not a power of two on purpose
+		alpha    = 0.7
+		draws    = 120_000
+	)
+	p, err := NewPrioritizedReplay(capacity, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, capacity)
+	prios := make([]float64, capacity)
+	var total float64
+	for i := 0; i < capacity; i++ {
+		p.Add(Transition{Reward: float64(i)})
+		idx[i] = i
+		prios[i] = float64(i%5) + 0.5 // mix of repeated priority levels
+		total += powAlpha(prios[i], alpha)
+	}
+	if err := p.UpdatePriorities(idx, prios); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRNG()
+	counts := make([]int, capacity)
+	trs, sampled, _, err := p.Sample(rng, draws, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range sampled {
+		if trs[k].Reward != float64(i) {
+			t.Fatalf("index %d returned transition with reward %v", i, trs[k].Reward)
+		}
+		counts[i]++
+	}
+	for i := 0; i < capacity; i++ {
+		want := powAlpha(prios[i], alpha) / total
+		got := float64(counts[i]) / draws
+		if got < want*0.9-0.005 || got > want*1.1+0.005 {
+			t.Errorf("transition %d sampled with frequency %.4f, want ~%.4f", i, got, want)
+		}
+	}
+}
+
+func powAlpha(p, alpha float64) float64 { return math.Pow(p, alpha) }
+
+// UpdatePriorities must round-trip through eviction: a slot whose
+// transition was evicted and replaced samples at the (current max)
+// insertion priority, not at the stale updated one.
+func TestUpdatePrioritiesRoundTripsThroughEviction(t *testing.T) {
+	const capacity = 4
+	p, err := NewPrioritizedReplay(capacity, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < capacity; i++ {
+		p.Add(Transition{Reward: float64(i)})
+	}
+	// Crush slot 0's priority, then evict it: slot 0 is the oldest, so the
+	// next Add overwrites it and must restore the max insertion priority.
+	if err := p.UpdatePriorities([]int{0, 1, 2, 3}, []float64{1e-6, 10, 1e-6, 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	p.Add(Transition{Reward: 99}) // evicts reward 0, lands in slot 0
+	if p.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", p.Len(), capacity)
+	}
+	rng := newRNG()
+	counts := map[float64]int{}
+	const draws = 20000
+	trs, _, _, err := p.Sample(rng, draws, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		counts[tr.Reward]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("evicted transition still sampled %d times", counts[0])
+	}
+	// Slot 0 re-entered at maxPrio (10) alongside the updated priority-10
+	// transition; the two near-zero slots should almost never appear.
+	// Expected proportions: 10 : 10 : 1e-6 : 1e-6.
+	frac99 := float64(counts[99]) / draws
+	frac1 := float64(counts[1]) / draws
+	if frac99 < 0.45 || frac99 > 0.55 {
+		t.Errorf("replacement transition sampled with frequency %.3f, want ~0.5", frac99)
+	}
+	if frac1 < 0.45 || frac1 > 0.55 {
+		t.Errorf("updated transition sampled with frequency %.3f, want ~0.5", frac1)
+	}
+	if counts[2]+counts[3] > draws/100 {
+		t.Errorf("near-zero-priority transitions sampled %d times", counts[2]+counts[3])
+	}
+	// And updating the replacement slot must take effect immediately.
+	if err := p.UpdatePriorities([]int{0}, []float64{1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	trs, _, _, err = p.Sample(rng, draws, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n99 := 0
+	for _, tr := range trs {
+		if tr.Reward == 99 {
+			n99++
+		}
+	}
+	if n99 > draws/100 {
+		t.Errorf("downgraded replacement sampled %d times", n99)
+	}
+}
+
+func TestPrioritizedSampleRejectsNonPositiveN(t *testing.T) {
+	p, _ := NewPrioritizedReplay(4, 0.6)
+	p.Add(Transition{})
+	if _, _, _, err := p.Sample(newRNG(), 0, 0.4); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, _, _, err := p.Sample(newRNG(), -1, 0.4); err == nil {
+		t.Error("negative n should fail")
 	}
 }
 

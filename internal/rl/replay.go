@@ -6,12 +6,13 @@ import (
 )
 
 // ReplayBuffer is a fixed-capacity ring buffer of transitions with uniform
-// random sampling, the experience replay memory of Fig. 3.
+// random sampling, the experience replay memory of Fig. 3. Eviction is
+// FIFO: once the buffer is full, each Add overwrites the oldest stored
+// transition.
 type ReplayBuffer struct {
 	capacity int
 	buf      []Transition
-	next     int
-	full     bool
+	next     int // eviction cursor: index of the oldest transition once full
 }
 
 // NewReplayBuffer returns a buffer holding at most capacity transitions.
@@ -30,7 +31,6 @@ func (b *ReplayBuffer) Add(t Transition) {
 	}
 	b.buf[b.next] = t
 	b.next = (b.next + 1) % b.capacity
-	b.full = true
 }
 
 // Len returns the number of stored transitions.
@@ -40,14 +40,31 @@ func (b *ReplayBuffer) Len() int { return len(b.buf) }
 func (b *ReplayBuffer) Capacity() int { return b.capacity }
 
 // Sample draws n transitions uniformly with replacement. It returns an
-// error if the buffer is empty.
+// error if the buffer is empty or n is not positive.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) ([]Transition, error) {
-	if len(b.buf) == 0 {
-		return nil, fmt.Errorf("rl: sample from empty replay buffer")
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: invalid sample size %d", n)
 	}
 	out := make([]Transition, n)
+	if err := b.SampleInto(rng, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleInto fills out with uniformly sampled transitions (with
+// replacement), letting training loops reuse one batch buffer across
+// updates instead of allocating per step. It returns an error if the
+// buffer is empty or out has zero length.
+func (b *ReplayBuffer) SampleInto(rng *rand.Rand, out []Transition) error {
+	if len(out) == 0 {
+		return fmt.Errorf("rl: invalid sample size %d", len(out))
+	}
+	if len(b.buf) == 0 {
+		return fmt.Errorf("rl: sample from empty replay buffer")
+	}
 	for i := range out {
 		out[i] = b.buf[rng.Intn(len(b.buf))]
 	}
-	return out, nil
+	return nil
 }

@@ -36,6 +36,67 @@ func TestReplayBufferEmptySample(t *testing.T) {
 	}
 }
 
+func TestReplayBufferRejectsNonPositiveSample(t *testing.T) {
+	b := NewReplayBuffer(4)
+	b.Add(Transition{Reward: 1})
+	if _, err := b.Sample(newRNG(), 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, err := b.Sample(newRNG(), -3); err == nil {
+		t.Error("negative n should fail")
+	}
+	if err := b.SampleInto(newRNG(), nil); err == nil {
+		t.Error("empty destination should fail")
+	}
+}
+
+// Eviction is FIFO: with capacity c, the buffer always holds exactly the
+// last c added transitions.
+func TestReplayBufferFIFOEvictionOrder(t *testing.T) {
+	const capacity = 4
+	b := NewReplayBuffer(capacity)
+	for i := 0; i < 11; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	got := map[float64]bool{}
+	for _, tr := range b.buf {
+		got[tr.Reward] = true
+	}
+	for i := 11 - capacity; i < 11; i++ {
+		if !got[float64(i)] {
+			t.Errorf("transition %d evicted although it is among the newest %d", i, capacity)
+		}
+	}
+	if len(got) != capacity {
+		t.Errorf("buffer holds %d distinct transitions, want %d", len(got), capacity)
+	}
+}
+
+func TestReplayBufferSampleInto(t *testing.T) {
+	b := NewReplayBuffer(8)
+	for i := 0; i < 8; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	batch := make([]Transition, 5)
+	if err := b.SampleInto(newRNG(), batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range batch {
+		if tr.Reward < 0 || tr.Reward > 7 {
+			t.Errorf("sampled transition with out-of-range reward %v", tr.Reward)
+		}
+	}
+	rng := newRNG()
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := b.SampleInto(rng, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SampleInto allocates %v objects per call, want 0", allocs)
+	}
+}
+
 // Property: buffer length never exceeds capacity and equals min(adds, cap).
 func TestReplayBufferLenProperty(t *testing.T) {
 	f := func(addsRaw uint8, capRaw uint8) bool {

@@ -63,6 +63,10 @@ type Agent struct {
 	replay *rl.ReplayBuffer
 
 	stateDim, actionDim int
+
+	// Update-step scratch reused across steps (see ddpg.Agent).
+	batch []rl.Transition
+	ws    nn.Workspace
 }
 
 var _ rl.Agent = (*Agent)(nil)
@@ -151,42 +155,77 @@ func (a *Agent) sampleAction(state []float64) (action, u, eps []float64, logP fl
 func (a *Agent) Observe(t rl.Transition) { a.replay.Add(t) }
 
 // Update performs one SAC gradient update (both critics, actor, targets).
+// Batch matrices come from the agent's workspace; the noise draws happen in
+// row order (skipping done rows for the targets), matching the per-sample
+// formulation's RNG stream exactly.
 func (a *Agent) Update() error {
 	if a.replay.Len() < a.cfg.WarmupSteps || a.replay.Len() < 2 {
 		return nil
 	}
-	batch, err := a.replay.Sample(a.rng, a.cfg.BatchSize)
-	if err != nil {
+	if cap(a.batch) < a.cfg.BatchSize {
+		a.batch = make([]rl.Transition, a.cfg.BatchSize)
+	}
+	batch := a.batch[:a.cfg.BatchSize]
+	if err := a.replay.SampleInto(a.rng, batch); err != nil {
 		return fmt.Errorf("sac: %w", err)
 	}
 	n := len(batch)
+	a.ws.Reset()
 
 	// ---- Critic targets: y = r + γ(min Q'(s',ã') − α·logπ(ã'|s')). ----
-	targets := make([]float64, n)
+	// One batched head forward for all next states, then per-row
+	// reparameterized sampling, then one batched forward per target critic.
+	nextIn := a.ws.Next(n, a.stateDim)
+	for i, tr := range batch {
+		copy(nextIn.Row(i), tr.NextState)
+	}
+	nextHeads := a.actor.Forward(nextIn)
+	tIn := a.ws.Next(n, a.stateDim+a.actionDim)
+	nlp := a.ws.Floats(n)
+	for i, tr := range batch {
+		row := tIn.Row(i)
+		copy(row, tr.NextState)
+		if tr.Done {
+			continue
+		}
+		head := nextHeads.Row(i)
+		act := row[a.stateDim:]
+		var logP float64
+		for d := 0; d < a.actionDim; d++ {
+			logStd := clamp(head[a.actionDim+d], logStdMin, logStdMax)
+			eps := a.rng.NormFloat64()
+			std := math.Exp(logStd)
+			u := head[d] + std*eps
+			act[d] = squash(u)
+			th := math.Tanh(u)
+			logP += -0.5*eps*eps - logStd - 0.5*math.Log(2*math.Pi)
+			logP -= math.Log(0.5*(1-th*th) + 1e-8)
+		}
+		nlp[i] = logP
+	}
+	q1t := a.q1T.Forward(tIn)
+	q2t := a.q2T.Forward(tIn)
+	targets := a.ws.Floats(n)
 	for i, tr := range batch {
 		if tr.Done {
 			targets[i] = tr.Reward
 			continue
 		}
-		na, _, _, nlp := a.sampleAction(tr.NextState)
-		in := concat(tr.NextState, na)
-		q1 := a.q1T.Forward1(in)[0]
-		q2 := a.q2T.Forward1(in)[0]
-		targets[i] = tr.Reward + a.cfg.Gamma*(math.Min(q1, q2)-a.cfg.Alpha*nlp)
+		targets[i] = tr.Reward + a.cfg.Gamma*(math.Min(q1t.At(i, 0), q2t.At(i, 0))-a.cfg.Alpha*nlp[i])
 	}
 
-	criticIn := nn.NewMatrix(n, a.stateDim+a.actionDim)
+	criticIn := a.ws.Next(n, a.stateDim+a.actionDim)
 	for i, tr := range batch {
 		row := criticIn.Row(i)
 		copy(row, tr.State)
 		copy(row[a.stateDim:], tr.Action)
 	}
-	for _, cr := range []struct {
+	grad := a.ws.Next(n, 1)
+	for _, cr := range [2]struct {
 		net *nn.Network
 		opt *nn.Adam
 	}{{a.q1, a.q1Opt}, {a.q2, a.q2Opt}} {
 		out := cr.net.Forward(criticIn)
-		grad := nn.NewMatrix(n, 1)
 		for i := range targets {
 			grad.Set(i, 0, (out.At(i, 0)-targets[i])/float64(n))
 		}
@@ -196,36 +235,51 @@ func (a *Agent) Update() error {
 	}
 
 	// ---- Actor update (reparameterized, per-sample analytic grads). ----
-	headGrad := nn.NewMatrix(n, 2*a.actionDim)
-	states := make([][]float64, n)
+	// The batched head forward below doubles as the cached forward pass for
+	// the actor Backward at the end.
+	states := a.ws.Next(n, a.stateDim)
 	for i, tr := range batch {
-		states[i] = tr.State
+		copy(states.Row(i), tr.State)
 	}
+	heads := a.actor.Forward(states)
+	headGrad := a.ws.NextZeroed(n, 2*a.actionDim)
+	in1 := a.ws.Next(1, a.stateDim+a.actionDim)
+	g1 := a.ws.Next(1, 1)
+	g1.Set(0, 0, 1)
+	u := a.ws.Floats(a.actionDim)
+	eps := a.ws.Floats(a.actionDim)
 	for i, tr := range batch {
-		action, u, eps, _ := a.sampleAction(tr.State)
-		in := concat(tr.State, action)
-		q1v := a.q1.Forward1(in)[0]
-		q2v := a.q2.Forward1(in)[0]
+		head := heads.Row(i)
+		row := in1.Row(0)
+		copy(row, tr.State)
+		act := row[a.stateDim:]
+		for d := 0; d < a.actionDim; d++ {
+			logStd := clamp(head[a.actionDim+d], logStdMin, logStdMax)
+			eps[d] = a.rng.NormFloat64()
+			u[d] = head[d] + math.Exp(logStd)*eps[d]
+			act[d] = squash(u[d])
+		}
+		q1v := a.q1.Forward(in1).At(0, 0)
+		q2v := a.q2.Forward(in1).At(0, 0)
 		qNet := a.q1
 		if q2v < q1v {
 			qNet = a.q2
 		}
-		// dQ/da via critic input gradients.
+		// dQ/da via critic input gradients (param grads discarded). Both
+		// critics' forward caches from the min-Q evaluation above are
+		// still valid — ZeroGrad touches only gradients — so Backward
+		// runs directly without a third forward.
 		qNet.ZeroGrad()
-		out := qNet.Forward(nn.FromRows([][]float64{in}))
-		g := nn.NewMatrix(out.Rows, 1)
-		g.Set(0, 0, 1)
-		dIn := qNet.Backward(g)
+		dIn := qNet.Backward(g1)
 		qNet.ZeroGrad()
 		dQda := dIn.Row(0)[a.stateDim:]
 
-		head := a.actor.Forward1(tr.State)
-		_, logStd := a.headSplit(head)
-		row := headGrad.Row(i)
+		row = headGrad.Row(i)
 		for d := 0; d < a.actionDim; d++ {
 			th := math.Tanh(u[d])
 			dadU := 0.5 * (1 - th*th)
-			std := math.Exp(logStd[d])
+			logStd := clamp(head[a.actionDim+d], logStdMin, logStdMax)
+			std := math.Exp(logStd)
 			// ∂L/∂µ  = α·2tanh(u) − dQ/da · da/du
 			row[d] = (a.cfg.Alpha*2*th - dQda[d]*dadU) / float64(n)
 			// ∂L/∂logσ = α(−1 + 2tanh(u)·σε) − dQ/da·da/du·σε,
@@ -237,7 +291,6 @@ func (a *Agent) Update() error {
 		}
 	}
 	a.actor.ZeroGrad()
-	a.actor.Forward(nn.FromRows(states))
 	a.actor.Backward(headGrad)
 	nn.ClipGrads(a.actor, 5)
 	a.actorOpt.Step(a.actor)
@@ -279,11 +332,6 @@ func randomAction(rng *rand.Rand, dim int) []float64 {
 	return out
 }
 
-func concat(a, b []float64) []float64 {
-	out := make([]float64, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
-}
 
 func clamp(x, lo, hi float64) float64 {
 	if x < lo {

@@ -1,0 +1,57 @@
+package rl
+
+// sumTree is a fixed-capacity complete binary tree over nonnegative leaf
+// weights where every internal node stores the sum of its children. It
+// supports O(log n) point updates and O(log n) sampling by prefix weight,
+// replacing the O(n) linear prefix-sum scan in prioritized replay.
+//
+// Layout: node 1 is the root, node j's children are 2j and 2j+1, and the
+// leaves occupy [leaves, 2·leaves) where leaves is capacity rounded up to a
+// power of two (unused leaves stay at weight 0 and are never sampled).
+type sumTree struct {
+	leaves int
+	tree   []float64
+}
+
+func newSumTree(capacity int) *sumTree {
+	leaves := 1
+	for leaves < capacity {
+		leaves <<= 1
+	}
+	return &sumTree{leaves: leaves, tree: make([]float64, 2*leaves)}
+}
+
+// Total returns the sum of all leaf weights.
+func (s *sumTree) Total() float64 { return s.tree[1] }
+
+// Get returns leaf i's weight.
+func (s *sumTree) Get(i int) float64 { return s.tree[s.leaves+i] }
+
+// Set assigns leaf i's weight and refreshes the path to the root. Parents
+// are recomputed as child sums (rather than patched with a delta) so
+// floating-point error does not accumulate over millions of updates.
+func (s *sumTree) Set(i int, w float64) {
+	j := s.leaves + i
+	s.tree[j] = w
+	for j > 1 {
+		j >>= 1
+		s.tree[j] = s.tree[2*j] + s.tree[2*j+1]
+	}
+}
+
+// Find returns the index of the leaf owning prefix weight r, i.e. the
+// smallest i with sum(leaf_0..leaf_i) > r. r should lie in [0, Total());
+// values at or beyond Total land on the last nonzero-reachable leaf.
+func (s *sumTree) Find(r float64) int {
+	j := 1
+	for j < s.leaves {
+		left := s.tree[2*j]
+		if r < left {
+			j = 2 * j
+		} else {
+			r -= left
+			j = 2*j + 1
+		}
+	}
+	return j - s.leaves
+}

@@ -70,6 +70,10 @@ type Agent struct {
 	noise          *rl.GaussianNoise
 	stateDim, aDim int
 	updates        int
+
+	// Update-step scratch reused across steps (see ddpg.Agent).
+	batch []rl.Transition
+	ws    nn.Workspace
 }
 
 var _ rl.Agent = (*Agent)(nil)
@@ -140,47 +144,69 @@ func (a *Agent) ActExplore(state []float64) []float64 {
 func (a *Agent) Observe(t rl.Transition) { a.replay.Add(t) }
 
 // Update performs one TD3 update: both critics every call, the actor and
-// targets every PolicyDelay calls.
+// targets every PolicyDelay calls. Batch matrices come from the agent's
+// workspace, so a warm update step is allocation-free.
 func (a *Agent) Update() error {
 	if a.replay.Len() < a.cfg.WarmupSteps || a.replay.Len() < 2 {
 		return nil
 	}
-	batch, err := a.replay.Sample(a.rng, a.cfg.BatchSize)
-	if err != nil {
+	if cap(a.batch) < a.cfg.BatchSize {
+		a.batch = make([]rl.Transition, a.cfg.BatchSize)
+	}
+	batch := a.batch[:a.cfg.BatchSize]
+	if err := a.replay.SampleInto(a.rng, batch); err != nil {
 		return fmt.Errorf("td3: %w", err)
 	}
 	n := len(batch)
+	a.ws.Reset()
 
-	// Targets with clipped double-Q and target-policy smoothing.
-	targets := make([]float64, n)
+	// Targets with clipped double-Q and target-policy smoothing, computed
+	// batched: one target-actor forward, per-row smoothing noise (drawn in
+	// row order, skipping done rows, to keep the RNG stream identical to
+	// the per-sample formulation), then one forward per target critic.
+	nextIn := a.ws.Next(n, a.stateDim)
+	for i, tr := range batch {
+		copy(nextIn.Row(i), tr.NextState)
+	}
+	na := a.actorT.Forward(nextIn)
+	tIn := a.ws.Next(n, a.stateDim+a.aDim)
+	for i, tr := range batch {
+		row := tIn.Row(i)
+		copy(row, tr.NextState)
+		act := row[a.stateDim:]
+		copy(act, na.Row(i))
+		if tr.Done {
+			continue
+		}
+		for d := range act {
+			eps := a.rng.NormFloat64() * a.cfg.TargetNoise
+			eps = math.Max(-a.cfg.TargetClip, math.Min(a.cfg.TargetClip, eps))
+			act[d] = clamp01(act[d] + eps)
+		}
+	}
+	q1t := a.q1T.Forward(tIn)
+	q2t := a.q2T.Forward(tIn)
+	targets := a.ws.Floats(n)
 	for i, tr := range batch {
 		if tr.Done {
 			targets[i] = tr.Reward
 			continue
 		}
-		na := a.actorT.Forward1(tr.NextState)
-		for d := range na {
-			eps := a.rng.NormFloat64() * a.cfg.TargetNoise
-			eps = math.Max(-a.cfg.TargetClip, math.Min(a.cfg.TargetClip, eps))
-			na[d] = clamp01(na[d] + eps)
-		}
-		in := concat(tr.NextState, na)
-		q := math.Min(a.q1T.Forward1(in)[0], a.q2T.Forward1(in)[0])
-		targets[i] = tr.Reward + a.cfg.Gamma*q
+		targets[i] = tr.Reward + a.cfg.Gamma*math.Min(q1t.At(i, 0), q2t.At(i, 0))
 	}
 
-	criticIn := nn.NewMatrix(n, a.stateDim+a.aDim)
+	criticIn := a.ws.Next(n, a.stateDim+a.aDim)
 	for i, tr := range batch {
 		row := criticIn.Row(i)
 		copy(row, tr.State)
 		copy(row[a.stateDim:], tr.Action)
 	}
-	for _, cr := range []struct {
+	grad := a.ws.Next(n, 1)
+	for _, cr := range [2]struct {
 		net *nn.Network
 		opt *nn.Adam
 	}{{a.q1, a.q1Opt}, {a.q2, a.q2Opt}} {
 		out := cr.net.Forward(criticIn)
-		grad := nn.NewMatrix(n, 1)
 		for i := range targets {
 			grad.Set(i, 0, (out.At(i, 0)-targets[i])/float64(n))
 		}
@@ -194,27 +220,26 @@ func (a *Agent) Update() error {
 	}
 
 	// Delayed actor update via dQ1/da.
-	states := make([][]float64, n)
+	states := a.ws.Next(n, a.stateDim)
 	for i, tr := range batch {
-		states[i] = tr.State
+		copy(states.Row(i), tr.State)
 	}
-	stateBatch := nn.FromRows(states)
-	actions := a.actor.Forward(stateBatch)
-	actIn := nn.NewMatrix(n, a.stateDim+a.aDim)
+	actions := a.actor.Forward(states)
+	actIn := a.ws.Next(n, a.stateDim+a.aDim)
 	for i := range batch {
 		row := actIn.Row(i)
-		copy(row, states[i])
+		copy(row, states.Row(i))
 		copy(row[a.stateDim:], actions.Row(i))
 	}
 	a.q1.ZeroGrad()
 	qa := a.q1.Forward(actIn)
-	ones := nn.NewMatrix(qa.Rows, 1)
+	ones := a.ws.Next(qa.Rows, 1)
 	for i := 0; i < qa.Rows; i++ {
 		ones.Set(i, 0, 1.0/float64(n))
 	}
 	dIn := a.q1.Backward(ones)
 	a.q1.ZeroGrad()
-	dAction := nn.NewMatrix(n, a.aDim)
+	dAction := a.ws.Next(n, a.aDim)
 	for i := 0; i < n; i++ {
 		src := dIn.Row(i)[a.stateDim:]
 		dst := dAction.Row(i)
@@ -261,8 +286,3 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-func concat(a, b []float64) []float64 {
-	out := make([]float64, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
-}

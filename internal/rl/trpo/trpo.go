@@ -121,8 +121,12 @@ func (a *Agent) policyStep(states, actions [][]float64, adv []float64) {
 	negate(g) // AccumulateScoreGrad produces a minimization gradient
 
 	scores := a.sampleScores(states, actions)
+	fvpBuf := make([]float64, len(g)) // reused across every CG iteration
 	fvp := func(v []float64) []float64 {
-		out := make([]float64, len(v))
+		out := fvpBuf
+		for k := range out {
+			out[k] = 0
+		}
 		for _, s := range scores {
 			d := dot(s, v) / float64(len(scores))
 			for k := range out {
@@ -152,8 +156,8 @@ func (a *Agent) policyStep(states, actions [][]float64, adv []float64) {
 	oldSurr := a.surrogate(states, actions, adv, nil)
 
 	frac := 1.0
+	candidate := make([]float64, len(oldParams)) // reused across backtracks
 	for ls := 0; ls < a.cfg.LineSearchMax; ls++ {
-		candidate := make([]float64, len(oldParams))
 		for k := range candidate {
 			candidate[k] = oldParams[k] + frac*stepScale*dir[k]
 		}

@@ -17,16 +17,17 @@ func NewValueNet(rng *rand.Rand, stateDim, hidden int) *nn.Network {
 }
 
 // FitValue regresses net onto (states, targets) with mean-squared error for
-// the given number of epochs of full-batch Adam steps.
+// the given number of epochs of full-batch Adam steps. The gradient matrix
+// is allocated once and reused across epochs.
 func FitValue(net *nn.Network, opt nn.Optimizer, states [][]float64, targets []float64, epochs int) {
 	if len(states) == 0 {
 		return
 	}
 	batch := nn.FromRows(states)
 	n := float64(len(states))
+	grad := nn.NewMatrix(len(states), 1)
 	for e := 0; e < epochs; e++ {
 		out := net.Forward(batch)
-		grad := nn.NewMatrix(out.Rows, 1)
 		for i := range targets {
 			grad.Set(i, 0, (out.At(i, 0)-targets[i])/n)
 		}

@@ -46,6 +46,8 @@ type Agent struct {
 	value  *nn.Network
 	popt   *nn.Adam
 	vopt   *nn.Adam
+
+	adv []float64 // advantage scratch reused across update iterations
 }
 
 var _ rl.Agent = (*Agent)(nil)
@@ -83,7 +85,10 @@ func (a *Agent) Train(env rl.Env, steps int) error {
 		tail := rl.ValueBatch(a.value, [][]float64{final})[0]
 		returns := rl.DiscountedReturns(rewards, a.cfg.Gamma, tail)
 		baseline := rl.ValueBatch(a.value, states)
-		adv := make([]float64, len(returns))
+		if cap(a.adv) < len(returns) {
+			a.adv = make([]float64, len(returns))
+		}
+		adv := a.adv[:len(returns)]
 		for i := range adv {
 			adv[i] = returns[i] - baseline[i]
 		}
