@@ -367,6 +367,41 @@ func BenchmarkScenarioRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioWarmStart compares cold replica sweeps (every replica
+// retrains its agents) against warm-started ones (each learning algorithm
+// trains once, replicas restore deep copies of the checkpoint). With R
+// replicas the cold variant pays R trainings, the warm variant one; the
+// trainings/run metric makes the difference visible alongside wall clock.
+func BenchmarkScenarioWarmStart(b *testing.B) {
+	spec, err := edgeslice.GetScenario("flash-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Periods = 2
+	spec.Events = nil // keep the deployment run tiny; training dominates
+	spec.Algorithms = []string{"edgeslice"}
+	spec.TrainSteps = 2000
+	const replicas = 8
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var trainings int
+			for i := 0; i < b.N; i++ {
+				s, err := edgeslice.RunScenario(spec, edgeslice.ScenarioOptions{
+					Replicas: replicas, WarmStart: mode.warm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				trainings += s.Trainings
+			}
+			b.ReportMetric(float64(trainings)/float64(b.N), "trainings/run")
+		})
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablations documented in
 // DESIGN.md: the MinShare floor, the reward normalization, and the value of
 // central coordination.

@@ -9,6 +9,10 @@
 //
 //	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10
 //	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json]
+//
+// The -agent file may be either a full-fidelity checkpoint written by
+// edgeslice-train (format edgeslice-checkpoint-v2) or a legacy v1 actor
+// snapshot (edgeslice-actor-v1) from older builds; both load transparently.
 package main
 
 import (
@@ -37,7 +41,7 @@ func run() error {
 		slices    = flag.Int("slices", 2, "number of slices")
 		ra        = flag.Int("ra", 0, "agent: this RA's id")
 		periods   = flag.Int("periods", 10, "coordinator: periods to run")
-		agentFile = flag.String("agent", "", "agent: trained actor JSON (from edgeslice-train); trains fresh if empty")
+		agentFile = flag.String("agent", "", "agent: trained checkpoint or v1 actor JSON (from edgeslice-train); trains fresh if empty")
 		train     = flag.Int("train", 12000, "agent: training steps when no -agent file given")
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-round network timeout")

@@ -16,6 +16,16 @@
 //	edgeslice-sim -list-scenarios
 //	edgeslice-sim -scenario flash-crowd [-replicas 4] [-parallel 4] [-seed 1]
 //	edgeslice-sim -scenario my-workload.json -replicas 8
+//
+// In scenario mode, -warm-start trains each learning algorithm once and
+// clones the trained policy into every replica instead of retraining per
+// replica; -ckpt-dir additionally caches the trained checkpoints on disk
+// (keyed by algorithm, config hash, seed, and train steps) so repeated
+// invocations skip training entirely. Setting -ckpt-dir implies
+// -warm-start:
+//
+//	edgeslice-sim -scenario flash-crowd -replicas 8 -warm-start
+//	edgeslice-sim -scenario flash-crowd -replicas 8 -ckpt-dir ~/.cache/edgeslice
 package main
 
 import (
@@ -46,6 +56,8 @@ func run() error {
 		listScen     = flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
 		replicas     = flag.Int("replicas", 1, "scenario replicas (seeds) per algorithm")
 		parallel     = flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS)")
+		warmStart    = flag.Bool("warm-start", false, "train each learning algorithm once and clone the policy into every replica")
+		ckptDir      = flag.String("ckpt-dir", "", "checkpoint cache directory (implies -warm-start)")
 	)
 	flag.Parse()
 
@@ -61,9 +73,10 @@ func run() error {
 				return fmt.Errorf("-%s applies to classic mode only; scenarios declare it in the spec", name)
 			}
 		}
-		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"))
+		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"),
+			*warmStart || *ckptDir != "", *ckptDir)
 	}
-	for _, name := range []string{"replicas", "parallel"} {
+	for _, name := range []string{"replicas", "parallel", "warm-start", "ckpt-dir"} {
 		if flagWasSet(name) {
 			return fmt.Errorf("-%s applies to scenario mode only; pass -scenario to use the replica runner", name)
 		}
@@ -107,7 +120,7 @@ func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
 	return edgeslice.DecodeScenario(f)
 }
 
-func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet bool) error {
+func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir string) error {
 	spec, err := loadScenario(nameOrFile)
 	if err != nil {
 		return err
@@ -118,8 +131,10 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet 
 	fmt.Printf("scenario %s: %d RA(s), %d slice(s), %d period(s) x %d interval(s), algorithms %v\n",
 		spec.Name, spec.NumRAs, len(spec.Slices), spec.Periods, spec.T, spec.Algorithms)
 	opts := edgeslice.ScenarioOptions{
-		Replicas: replicas,
-		Parallel: parallel,
+		Replicas:      replicas,
+		Parallel:      parallel,
+		WarmStart:     warmStart,
+		CheckpointDir: ckptDir,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "replica %d/%d done\n", done, total)
 		},

@@ -1,11 +1,14 @@
 // Command edgeslice-train trains an EdgeSlice orchestration agent offline
-// against the simulated network environment (Sec. VI-B) and saves the actor
-// network as JSON for later deployment with edgeslice-daemon or the
-// library's LoadAgent.
+// against the simulated network environment (Sec. VI-B) and saves it as a
+// full-fidelity checkpoint (format edgeslice-checkpoint-v2: actor,
+// critic(s), target networks, optimizer moments, RNG cursor) for later
+// deployment with edgeslice-daemon or the library's LoadAgent — or for
+// exact training resume. Pass -replay to also capture the replay buffer
+// (bigger file, needed only for resume).
 //
 // Usage:
 //
-//	edgeslice-train -out agent.json [-steps 12000] [-nt] [-seed 1]
+//	edgeslice-train -out agent.json [-steps 12000] [-nt] [-seed 1] [-replay]
 package main
 
 import (
@@ -23,12 +26,16 @@ func main() {
 	}
 }
 
-func run() error {
+// run uses a named return so the deferred Close can surface flush errors:
+// a full disk or yanked volume must not report a truncated checkpoint as
+// "saved".
+func run() (err error) {
 	var (
-		out   = flag.String("out", "", "output file for the trained actor (required)")
-		steps = flag.Int("steps", 12000, "training steps")
-		nt    = flag.Bool("nt", false, "train the EdgeSlice-NT variant (no queue observation)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file for the trained agent checkpoint (required)")
+		steps  = flag.Int("steps", 12000, "training steps")
+		nt     = flag.Bool("nt", false, "train the EdgeSlice-NT variant (no queue observation)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		replay = flag.Bool("replay", false, "include the replay buffer (for exact training resume)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -61,9 +68,10 @@ func run() error {
 			err = cerr
 		}
 	}()
-	if err := edgeslice.SaveAgent(f, sys, 0); err != nil {
+	opts := edgeslice.CheckpointOptions{IncludeReplay: *replay}
+	if err := edgeslice.SaveCheckpoint(f, sys, opts); err != nil {
 		return err
 	}
-	fmt.Printf("saved actor to %s\n", *out)
+	fmt.Printf("saved checkpoint to %s\n", *out)
 	return nil
 }

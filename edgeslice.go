@@ -17,7 +17,12 @@
 //     figure of the paper.
 //   - Scenarios (ListScenarios, GetScenario, RunScenario) — declarative
 //     workload scenarios (traffic programs with timed events) executed by a
-//     parallel sharded replica runner.
+//     parallel sharded replica runner, with an opt-in warm-start mode that
+//     trains each algorithm once and clones the policy into every replica.
+//   - Checkpoints (SaveCheckpoint, LoadCheckpoint, SaveAgent, LoadAgent) —
+//     versioned full-fidelity persistence of trained agents: networks,
+//     optimizer moments, and RNG cursor, for bitwise-identical deployment
+//     and exact training resume.
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package edgeslice
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"edgeslice/internal/admm"
+	"edgeslice/internal/ckpt"
 	"edgeslice/internal/core"
 	"edgeslice/internal/experiments"
 	"edgeslice/internal/mathutil"
@@ -68,6 +74,21 @@ type (
 
 // Agent is a trained orchestration policy.
 type Agent = rl.Agent
+
+// Checkpoint types (versioned, full-fidelity agent persistence).
+type (
+	// Checkpoint is a full-fidelity snapshot of a trained system: per
+	// agent the actor, critic(s), target networks, optimizer moments, and
+	// RNG cursor, restorable for bitwise-identical deployment or exact
+	// training resume.
+	Checkpoint = ckpt.Checkpoint
+	// CheckpointOptions configures what a snapshot captures (e.g. the
+	// replay buffer, needed only for exact training resume).
+	CheckpointOptions = ckpt.SnapshotOptions
+	// CheckpointStore is a content-addressed on-disk checkpoint cache
+	// keyed by (algorithm, config hash, seed, train steps).
+	CheckpointStore = ckpt.Store
+)
 
 // Coordinator is the ADMM performance coordinator.
 type Coordinator = admm.Coordinator
@@ -140,17 +161,35 @@ func DefaultEnvConfig() EnvConfig { return netsim.DefaultExperimentConfig() }
 // NewEnv creates a simulated resource-autonomy environment.
 func NewEnv(cfg EnvConfig) (*Env, error) { return netsim.New(cfg) }
 
-// SaveAgent serializes a trained DDPG agent's actor network.
+// SaveAgent serializes RA ra's trained agent as a single-agent checkpoint
+// any supported training algorithm round-trips (format
+// edgeslice-checkpoint-v2). Legacy v1 actor snapshots remain loadable with
+// LoadAgent; core.SaveAgent still writes them for DDPG actors.
 func SaveAgent(w io.Writer, sys *System, ra int) error {
-	actor, err := sys.Actor(ra)
+	c, err := sys.AgentCheckpoint(ra, ckpt.SnapshotOptions{})
 	if err != nil {
 		return err
 	}
-	return core.SaveAgent(w, actor)
+	return ckpt.Write(w, c)
 }
 
-// LoadAgent restores a policy saved with SaveAgent.
+// LoadAgent restores a policy saved with SaveAgent or edgeslice-train —
+// either a v2 checkpoint or a legacy v1 actor snapshot. The returned agent
+// is safe for concurrent Act calls.
 func LoadAgent(r io.Reader) (Agent, error) { return core.LoadAgent(r) }
+
+// SaveCheckpoint writes the system's trained agents (all RAs, or the one
+// shared agent) as a full-fidelity v2 checkpoint.
+func SaveCheckpoint(w io.Writer, sys *System, opts CheckpointOptions) error {
+	return core.SaveCheckpoint(w, sys, opts)
+}
+
+// LoadCheckpoint parses a v2 checkpoint for System.Restore.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return core.LoadCheckpoint(r) }
+
+// OpenCheckpointStore opens (creating if needed) an on-disk checkpoint
+// cache, the backing of the scenario runner's warm-start mode.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.OpenStore(dir) }
 
 // NewHub starts the coordinator-side RC endpoint on addr.
 func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {

@@ -33,7 +33,8 @@ func run() error {
 	)
 
 	// Train one shared policy first (in production: edgeslice-train once,
-	// ship the JSON to every agent host).
+	// ship the checkpoint to every agent host — the train-once /
+	// evaluate-many workflow of Sec. V).
 	fmt.Println("training shared orchestration policy...")
 	trainCfg := edgeslice.DefaultConfig()
 	trainCfg.NumRAs = 1
@@ -113,10 +114,10 @@ func agentProcess(addr string, ra int, trained *edgeslice.System) error {
 	}
 	env.Reset()
 
-	// Serialize/deserialize the trained policy — the same bytes the
-	// edgeslice-train CLI writes to disk.
+	// Serialize/deserialize the trained policy as a full-fidelity
+	// checkpoint — the same bytes the edgeslice-train CLI writes to disk.
 	var buf bytes.Buffer
-	if err := edgeslice.SaveAgent(&buf, trained, 0); err != nil {
+	if err := edgeslice.SaveCheckpoint(&buf, trained, edgeslice.CheckpointOptions{}); err != nil {
 		return err
 	}
 	policy, err := edgeslice.LoadAgent(&buf)

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// TrainingFingerprint hashes everything the trained agents are a
+// deterministic function of, *except* the base seed and step budget (the
+// checkpoint store keys those separately): the algorithm, the topology, the
+// DDPG hyper-parameters, the SLA/ADMM settings, and every RA's resolved
+// training environment exactly as Train would configure it. Two configs
+// with equal fingerprints, seeds, and train budgets produce bitwise
+// identical agents, so a stored checkpoint can stand in for training.
+func TrainingFingerprint(cfg Config) (string, error) {
+	h := sha256.New()
+	w := func(vals ...any) {
+		for _, v := range vals {
+			fmt.Fprintf(h, "%v|", v)
+		}
+	}
+	w("edgeslice-training-v1", int(cfg.Algo), cfg.NumRAs, cfg.ShareAgent, cfg.Rho)
+	w(len(cfg.Umin))
+	for _, u := range cfg.Umin {
+		w(strconv.FormatFloat(u, 'g', -1, 64))
+	}
+	dcfg := cfg.DDPG
+	dcfg.Seed = 0 // Train derives the real seed from cfg.Seed, keyed separately
+	if err := hashValue(h, reflect.ValueOf(dcfg)); err != nil {
+		return "", fmt.Errorf("core: fingerprint ddpg config: %w", err)
+	}
+
+	// A System value only to resolve the per-RA training templates; the
+	// config was validated by the caller's NewSystem or is validated here.
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	s := &System{cfg: cfg}
+	ras := cfg.NumRAs
+	if cfg.ShareAgent {
+		ras = 1 // only RA 0's training environment matters
+	}
+	for j := 0; j < ras; j++ {
+		envCfg := s.trainTemplateFor(j)
+		// Normalize exactly as Train's trainOne does; Seed is overridden
+		// there from cfg.Seed, which the store keys separately.
+		envCfg.ObserveQueue = cfg.Algo != AlgoEdgeSliceNT
+		envCfg.TrainCoordRandom = true
+		envCfg.Seed = 0
+		w("ra", j)
+		if err := hashValue(h, reflect.ValueOf(envCfg)); err != nil {
+			return "", fmt.Errorf("core: fingerprint RA %d training env: %w", j, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashValue writes a canonical byte representation of v: type names tag
+// every struct, interface, and pointer so distinct shapes never collide,
+// floats use the exact shortest round-trip form, and map keys are sorted.
+// Channels and funcs are rejected — configs must be plain data.
+func hashValue(w io.Writer, v reflect.Value) error {
+	if !v.IsValid() {
+		_, err := io.WriteString(w, "nil|")
+		return err
+	}
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			_, err := io.WriteString(w, "nil|")
+			return err
+		}
+		fmt.Fprintf(w, "%s{", v.Elem().Type().String())
+		if err := hashValue(w, v.Elem()); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "}|")
+		return err
+	case reflect.Struct:
+		t := v.Type()
+		fmt.Fprintf(w, "%s{", t.String())
+		for i := 0; i < t.NumField(); i++ {
+			fmt.Fprintf(w, "%s:", t.Field(i).Name)
+			if err := hashValue(w, v.Field(i)); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "}|")
+		return err
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "[%d|", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if err := hashValue(w, v.Index(i)); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "]|")
+		return err
+	case reflect.Map:
+		keys := v.MapKeys()
+		formatted := make([]string, len(keys))
+		for i, k := range keys {
+			formatted[i] = fmt.Sprintf("%v", k.Interface())
+		}
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return formatted[idx[a]] < formatted[idx[b]] })
+		fmt.Fprintf(w, "map[%d|", len(keys))
+		for _, i := range idx {
+			fmt.Fprintf(w, "%s:", formatted[i])
+			if err := hashValue(w, v.MapIndex(keys[i])); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "]|")
+		return err
+	case reflect.Float32, reflect.Float64:
+		_, err := io.WriteString(w, strconv.FormatFloat(v.Float(), 'g', -1, 64)+"|")
+		return err
+	case reflect.Bool:
+		_, err := fmt.Fprintf(w, "%t|", v.Bool())
+		return err
+	case reflect.String:
+		_, err := fmt.Fprintf(w, "%q|", v.String())
+		return err
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		_, err := fmt.Fprintf(w, "%d|", v.Int())
+		return err
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		_, err := fmt.Fprintf(w, "%d|", v.Uint())
+		return err
+	default:
+		return fmt.Errorf("core: cannot fingerprint %s value", v.Kind())
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"edgeslice/internal/ckpt"
+	"edgeslice/internal/rl"
+)
+
+// Snapshot captures the system's trained agents as a full-fidelity v2
+// checkpoint: per agent the actor, critic(s), target networks, optimizer
+// moments, and RNG cursor (plus the replay buffer when
+// opts.IncludeReplay), so a restored system acts bitwise identically and
+// its agents can resume training exactly. Baseline algorithms (TARO,
+// EqualShare) have no trainable agents and cannot be snapshotted.
+func (s *System) Snapshot(opts ckpt.SnapshotOptions) (*ckpt.Checkpoint, error) {
+	if !s.cfg.Algo.IsLearning() {
+		return nil, fmt.Errorf("core: %v has no trainable agents to checkpoint", s.cfg.Algo)
+	}
+	if !s.trained || len(s.agents) == 0 {
+		return nil, fmt.Errorf("core: Snapshot before Train/SetAgents")
+	}
+	hash, err := TrainingFingerprint(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &ckpt.Checkpoint{
+		Format:     ckpt.FormatV2,
+		Algorithm:  s.cfg.Algo.String(),
+		ConfigHash: hash,
+		Seed:       s.cfg.Seed,
+		TrainSteps: s.cfg.TrainSteps,
+	}
+	// One shared agent deployed to every RA collapses to a single entry.
+	shared := true
+	for _, a := range s.agents[1:] {
+		if a != s.agents[0] {
+			shared = false
+			break
+		}
+	}
+	agents := s.agents
+	if shared {
+		agents = s.agents[:1]
+	}
+	c.Shared = shared && s.cfg.NumRAs > 1
+	for j, a := range agents {
+		st, err := snapshotAgent(a, j, opts)
+		if err != nil {
+			return nil, err
+		}
+		c.Agents = append(c.Agents, st)
+	}
+	return c, nil
+}
+
+// AgentCheckpoint captures a single RA's agent as a one-agent checkpoint —
+// the deployment artifact edgeslice-train ships to agent hosts.
+func (s *System) AgentCheckpoint(ra int, opts ckpt.SnapshotOptions) (*ckpt.Checkpoint, error) {
+	if !s.trained || ra < 0 || ra >= len(s.agents) {
+		return nil, fmt.Errorf("core: RA %d has no agent (trained: %v)", ra, s.trained)
+	}
+	st, err := snapshotAgent(s.agents[ra], ra, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ckpt.Checkpoint{
+		Format:     ckpt.FormatV2,
+		Algorithm:  s.cfg.Algo.String(),
+		Shared:     false,
+		Agents:     []*ckpt.AgentState{st},
+		Seed:       s.cfg.Seed,
+		TrainSteps: s.cfg.TrainSteps,
+	}, nil
+}
+
+func snapshotAgent(a rl.Agent, ra int, opts ckpt.SnapshotOptions) (*ckpt.AgentState, error) {
+	snap, ok := a.(ckpt.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("core: RA %d agent %T cannot be checkpointed (no Snapshot method)", ra, a)
+	}
+	st, err := snap.Snapshot(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: RA %d: %w", ra, err)
+	}
+	return st, nil
+}
+
+// Restore installs the checkpoint's agents into the system in place of
+// Train: a shared (or single-agent) checkpoint is restored once and
+// deployed to every RA, a per-RA checkpoint needs one agent per RA. Each
+// Restore call rebuilds the agents from deep copies, so one in-memory
+// checkpoint can warm-start any number of replicas concurrently.
+func (s *System) Restore(c *ckpt.Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Algorithm != "" && c.Algorithm != s.cfg.Algo.String() {
+		return fmt.Errorf("core: checkpoint is for %s, system runs %s", c.Algorithm, s.cfg.Algo)
+	}
+	var agents []rl.Agent
+	switch {
+	case len(c.Agents) == 1:
+		a, err := s.restoreAgent(c.Agents[0], 0)
+		if err != nil {
+			return err
+		}
+		agents = []rl.Agent{a}
+	case len(c.Agents) == s.cfg.NumRAs:
+		agents = make([]rl.Agent, len(c.Agents))
+		for j, st := range c.Agents {
+			a, err := s.restoreAgent(st, j)
+			if err != nil {
+				return err
+			}
+			agents[j] = a
+		}
+	default:
+		return fmt.Errorf("core: checkpoint has %d agents, system has %d RAs (want 1 or %d)",
+			len(c.Agents), s.cfg.NumRAs, s.cfg.NumRAs)
+	}
+	return s.SetAgents(agents)
+}
+
+func (s *System) restoreAgent(st *ckpt.AgentState, ra int) (rl.Agent, error) {
+	env := s.envs[ra]
+	if st.StateDim != env.StateDim() || st.ActionDim != env.ActionDim() {
+		return nil, fmt.Errorf("core: RA %d checkpoint agent is %dx%d, environment needs %dx%d",
+			ra, st.StateDim, st.ActionDim, env.StateDim(), env.ActionDim())
+	}
+	a, err := ckpt.RestoreAgent(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: RA %d: %w", ra, err)
+	}
+	return a, nil
+}

@@ -304,7 +304,7 @@ func (s *System) Actor(j int) (*nn.Network, error) {
 	}
 	dd, ok := s.agents[j].(*ddpg.Agent)
 	if !ok {
-		return nil, fmt.Errorf("core: RA %d agent is %T, not a DDPG agent", j, s.agents[j])
+		return nil, fmt.Errorf("core: RA %d agent is %T, not a DDPG agent: v1 actor snapshots capture DDPG actors only — save a full checkpoint (Snapshot/SaveCheckpoint, format %q) instead", j, s.agents[j], "edgeslice-checkpoint-v2")
 	}
 	return dd.Actor(), nil
 }

@@ -1,0 +1,65 @@
+package mathutil
+
+import "math/rand"
+
+// CountingSource wraps the standard math/rand source, counting how many
+// values have been drawn so the RNG cursor can be checkpointed and replayed
+// exactly. The emitted stream is bit-identical to rand.NewSource(seed):
+// every method delegates to the wrapped source, and both Int63 and Uint64
+// advance the underlying generator by exactly one step, so a cursor of n
+// draws is restored by discarding n values from a fresh source.
+type CountingSource struct {
+	seed  int64
+	calls uint64
+	src   rand.Source64
+}
+
+var _ rand.Source64 = (*CountingSource)(nil)
+
+// NewCountingSource returns a counting source over rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)} //nolint:gosec // simulation
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.calls++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.calls++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the cursor.
+func (c *CountingSource) Seed(seed int64) {
+	c.seed = seed
+	c.calls = 0
+	c.src.Seed(seed)
+}
+
+// SeedValue returns the seed the stream started from.
+func (c *CountingSource) SeedValue() int64 { return c.seed }
+
+// Calls returns the number of values drawn since seeding — the RNG cursor.
+func (c *CountingSource) Calls() uint64 { return c.calls }
+
+// NewCountingRNG returns a *rand.Rand whose stream is bit-identical to
+// NewRNG(seed), plus the counting source backing it for cursor capture.
+func NewCountingRNG(seed int64) (*rand.Rand, *CountingSource) {
+	src := NewCountingSource(seed)
+	return rand.New(src), src //nolint:gosec // simulation
+}
+
+// ReplayRNG rebuilds the RNG at a captured cursor: a fresh stream seeded
+// with seed is fast-forwarded by calls draws, leaving the generator — and
+// the counter — exactly where the snapshot left off.
+func ReplayRNG(seed int64, calls uint64) (*rand.Rand, *CountingSource) {
+	src := NewCountingSource(seed)
+	for i := uint64(0); i < calls; i++ {
+		src.Uint64()
+	}
+	return rand.New(src), src //nolint:gosec // simulation
+}

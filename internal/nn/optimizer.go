@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates network parameters from their accumulated gradients.
 // Implementations assume gradients are for *minimization*; callers that
@@ -93,6 +96,54 @@ func (o *Adam) Step(n *Network) {
 			p.Value[k] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
 		}
 	}
+}
+
+// AdamState is the serializable snapshot of one network's Adam moments:
+// the step counter and the first/second moment vectors in Params order.
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"`
+	V [][]float64 `json:"v"`
+}
+
+// StateFor returns a deep copy of the moment buffers accumulated for n, or
+// nil if the optimizer has not stepped n yet (a valid state: restoring nil
+// is a no-op and the moments start fresh, exactly as before the first Step).
+func (o *Adam) StateFor(n *Network) *AdamState {
+	st, ok := o.state[n]
+	if !ok {
+		return nil
+	}
+	out := &AdamState{T: st.t, M: make([][]float64, len(st.m)), V: make([][]float64, len(st.v))}
+	for i := range st.m {
+		out.M[i] = append([]float64(nil), st.m[i]...)
+		out.V[i] = append([]float64(nil), st.v[i]...)
+	}
+	return out
+}
+
+// SetStateFor installs snapshot moments for n, validating the shapes
+// against the network's parameters. A nil snapshot clears any existing
+// state so the next Step starts from fresh moments.
+func (o *Adam) SetStateFor(n *Network, snap *AdamState) error {
+	if snap == nil {
+		delete(o.state, n)
+		return nil
+	}
+	params := n.Params()
+	if len(snap.M) != len(params) || len(snap.V) != len(params) {
+		return fmt.Errorf("nn: adam state has %d/%d moment tensors, want %d", len(snap.M), len(snap.V), len(params))
+	}
+	st := &adamState{t: snap.T, m: make([][]float64, len(params)), v: make([][]float64, len(params))}
+	for i, p := range params {
+		if len(snap.M[i]) != len(p.Value) || len(snap.V[i]) != len(p.Value) {
+			return fmt.Errorf("nn: adam state tensor %d has %d/%d values, want %d", i, len(snap.M[i]), len(snap.V[i]), len(p.Value))
+		}
+		st.m[i] = append([]float64(nil), snap.M[i]...)
+		st.v[i] = append([]float64(nil), snap.V[i]...)
+	}
+	o.state[n] = st
+	return nil
 }
 
 // ClipGrads scales the network's gradients so their global L2 norm does not

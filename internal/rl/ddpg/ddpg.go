@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"edgeslice/internal/mathutil"
 	"edgeslice/internal/nn"
 	"edgeslice/internal/rl"
 )
@@ -54,6 +55,7 @@ func DefaultConfig() Config {
 type Agent struct {
 	cfg Config
 	rng *rand.Rand
+	src *mathutil.CountingSource // rng's backing source; checkpointed as a cursor
 
 	actor        *nn.Network
 	critic       *nn.Network
@@ -86,7 +88,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	if cfg.Hidden <= 0 || cfg.BatchSize <= 0 || cfg.ReplayCapacity <= 0 {
 		return nil, fmt.Errorf("ddpg: invalid config %+v", cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	rng, src := mathutil.NewCountingRNG(cfg.Seed)
 	actor := nn.NewMLP(rng, stateDim,
 		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
 		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
@@ -107,6 +109,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	a := &Agent{
 		cfg:          cfg,
 		rng:          rng,
+		src:          src,
 		actor:        actor,
 		critic:       critic,
 		actorTarget:  actor.Clone(),

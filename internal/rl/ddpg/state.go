@@ -1,0 +1,116 @@
+package ddpg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgeslice/internal/ckpt"
+	"edgeslice/internal/mathutil"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// AlgoName is the checkpoint algorithm identifier.
+const AlgoName = "ddpg"
+
+func init() {
+	ckpt.Register(AlgoName, func(st *ckpt.AgentState) (rl.Agent, error) { return Restore(st) })
+}
+
+var _ ckpt.Snapshotter = (*Agent)(nil)
+
+// Snapshot captures the agent's full training state: actor, critic, both
+// target networks, both optimizers' Adam moments, the noise schedule, the
+// RNG cursor, and (when opts.IncludeReplay) the replay buffer. A restored
+// agent acts bitwise identically and resumes training exactly.
+func (a *Agent) Snapshot(opts ckpt.SnapshotOptions) (*ckpt.AgentState, error) {
+	cfg, err := json.Marshal(a.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ddpg: snapshot config: %w", err)
+	}
+	st := &ckpt.AgentState{
+		Algo:      AlgoName,
+		StateDim:  a.stateDim,
+		ActionDim: a.actionDim,
+		Config:    cfg,
+		// Networks are cloned so the snapshot is a true point-in-time
+		// value: training on after Snapshot must not mutate it.
+		Nets: map[string]*nn.Network{
+			"actor":         a.actor.Clone(),
+			"critic":        a.critic.Clone(),
+			"actor-target":  a.actorTarget.Clone(),
+			"critic-target": a.criticTarget.Clone(),
+		},
+		Opts: map[string]*nn.AdamState{
+			"actor":  a.actorOpt.StateFor(a.actor),
+			"critic": a.criticOpt.StateFor(a.critic),
+		},
+		RNG:      ckpt.RNGState{Seed: a.src.SeedValue(), Calls: a.src.Calls()},
+		NoiseStd: a.noise.Std,
+		Updates:  a.updates,
+	}
+	if opts.IncludeReplay {
+		rs := a.replay.State()
+		st.Replay = &rs
+	}
+	return st, nil
+}
+
+// Restore rebuilds a DDPG agent from a snapshot. Every network and buffer
+// is deep-copied, so one snapshot restores into any number of independent
+// agents.
+func Restore(st *ckpt.AgentState) (*Agent, error) {
+	if st.Algo != AlgoName {
+		return nil, fmt.Errorf("ddpg: snapshot is for %q", st.Algo)
+	}
+	var cfg Config
+	if err := json.Unmarshal(st.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("ddpg: snapshot config: %w", err)
+	}
+	if st.StateDim <= 0 || st.ActionDim <= 0 || cfg.ReplayCapacity <= 0 {
+		return nil, fmt.Errorf("ddpg: invalid snapshot dims state=%d action=%d %+v", st.StateDim, st.ActionDim, cfg)
+	}
+	rng, src := mathutil.ReplayRNG(st.RNG.Seed, st.RNG.Calls)
+	a := &Agent{
+		cfg:       cfg,
+		rng:       rng,
+		src:       src,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		noise:     &rl.GaussianNoise{Std: st.NoiseStd, Decay: cfg.NoiseDecay, Min: cfg.NoiseMin},
+		stateDim:  st.StateDim,
+		actionDim: st.ActionDim,
+		updates:   st.Updates,
+	}
+	var err error
+	if a.actor, err = st.CloneNet("actor"); err != nil {
+		return nil, err
+	}
+	if a.critic, err = st.CloneNet("critic"); err != nil {
+		return nil, err
+	}
+	if a.actorTarget, err = st.CloneNet("actor-target"); err != nil {
+		return nil, err
+	}
+	if a.criticTarget, err = st.CloneNet("critic-target"); err != nil {
+		return nil, err
+	}
+	if a.actor.InputDim() != st.StateDim || a.actor.OutputDim() != st.ActionDim {
+		return nil, fmt.Errorf("ddpg: snapshot actor is %dx%d, want %dx%d",
+			a.actor.InputDim(), a.actor.OutputDim(), st.StateDim, st.ActionDim)
+	}
+	if err := a.actorOpt.SetStateFor(a.actor, st.Opts["actor"]); err != nil {
+		return nil, fmt.Errorf("ddpg: actor optimizer: %w", err)
+	}
+	if err := a.criticOpt.SetStateFor(a.critic, st.Opts["critic"]); err != nil {
+		return nil, fmt.Errorf("ddpg: critic optimizer: %w", err)
+	}
+	if st.Replay != nil {
+		if a.replay, err = rl.RestoreReplay(*st.Replay); err != nil {
+			return nil, fmt.Errorf("ddpg: %w", err)
+		}
+	} else {
+		a.replay = rl.NewReplayBuffer(cfg.ReplayCapacity)
+	}
+	return a, nil
+}

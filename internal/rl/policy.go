@@ -42,6 +42,24 @@ func NewGaussianPolicy(rng *rand.Rand, stateDim, actionDim, hidden int, initStd 
 	}
 }
 
+// RestoreGaussianPolicy rebuilds a policy from its serialized parts: the
+// mean network and the per-dimension log standard deviations (both owned by
+// the returned policy — callers restoring from a shared snapshot should
+// pass clones).
+func RestoreGaussianPolicy(mean *nn.Network, logStd []float64) (*GaussianPolicy, error) {
+	if mean == nil || len(mean.Layers) == 0 {
+		return nil, fmt.Errorf("rl: gaussian policy snapshot has no mean network")
+	}
+	if len(logStd) != mean.OutputDim() {
+		return nil, fmt.Errorf("rl: gaussian policy snapshot has %d log-stds, mean outputs %d", len(logStd), mean.OutputDim())
+	}
+	return &GaussianPolicy{
+		Mean:       mean,
+		LogStd:     logStd,
+		LogStdGrad: make([]float64, len(logStd)),
+	}, nil
+}
+
 // ActionDim returns the number of action dimensions.
 func (p *GaussianPolicy) ActionDim() int { return len(p.LogStd) }
 

@@ -52,6 +52,49 @@ func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) ([]Transition, error) {
 	return out, nil
 }
 
+// ReplayState is the serializable snapshot of a replay buffer: capacity,
+// the eviction cursor, and the stored transitions in storage order. It
+// captures the buffer exactly — a restored buffer produces the same sample
+// and eviction sequences as the original.
+type ReplayState struct {
+	Capacity    int          `json:"capacity"`
+	Next        int          `json:"next"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// State returns a snapshot of the buffer. The transition structs are
+// copied; their inner state/action slices are shared (they are never
+// mutated after Add).
+func (b *ReplayBuffer) State() ReplayState {
+	return ReplayState{
+		Capacity:    b.capacity,
+		Next:        b.next,
+		Transitions: append([]Transition(nil), b.buf...),
+	}
+}
+
+// RestoreReplay rebuilds a buffer from a snapshot.
+func RestoreReplay(st ReplayState) (*ReplayBuffer, error) {
+	if st.Capacity <= 0 {
+		return nil, fmt.Errorf("rl: replay snapshot capacity %d must be positive", st.Capacity)
+	}
+	if len(st.Transitions) > st.Capacity {
+		return nil, fmt.Errorf("rl: replay snapshot holds %d transitions, capacity %d", len(st.Transitions), st.Capacity)
+	}
+	if st.Next < 0 || (st.Next != 0 && st.Next >= st.Capacity) {
+		return nil, fmt.Errorf("rl: replay snapshot cursor %d out of range [0, %d)", st.Next, st.Capacity)
+	}
+	// A live buffer keeps next == 0 until it fills; a non-zero cursor on a
+	// partial buffer would evict newest-first after it fills.
+	if st.Next != 0 && len(st.Transitions) < st.Capacity {
+		return nil, fmt.Errorf("rl: replay snapshot cursor %d with %d/%d transitions breaks FIFO order", st.Next, len(st.Transitions), st.Capacity)
+	}
+	b := &ReplayBuffer{capacity: st.Capacity, next: st.Next}
+	b.buf = make([]Transition, len(st.Transitions), st.Capacity)
+	copy(b.buf, st.Transitions)
+	return b, nil
+}
+
 // SampleInto fills out with uniformly sampled transitions (with
 // replacement), letting training loops reuse one batch buffer across
 // updates instead of allocating per step. It returns an error if the

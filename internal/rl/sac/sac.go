@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"edgeslice/internal/mathutil"
 	"edgeslice/internal/nn"
 	"edgeslice/internal/rl"
 )
@@ -53,6 +54,7 @@ const (
 type Agent struct {
 	cfg Config
 	rng *rand.Rand
+	src *mathutil.CountingSource // rng's backing source; checkpointed as a cursor
 
 	actor    *nn.Network // outputs [mean..., logstd...] with identity heads
 	q1, q2   *nn.Network
@@ -76,7 +78,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	if stateDim <= 0 || actionDim <= 0 || cfg.Hidden <= 0 || cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("sac: invalid config state=%d action=%d %+v", stateDim, actionDim, cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	rng, src := mathutil.NewCountingRNG(cfg.Seed)
 	newQ := func() *nn.Network {
 		return nn.NewMLP(rng, stateDim+actionDim,
 			nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
@@ -94,6 +96,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	return &Agent{
 		cfg:      cfg,
 		rng:      rng,
+		src:      src,
 		actor:    actor,
 		q1:       q1,
 		q2:       q2,
@@ -331,7 +334,6 @@ func randomAction(rng *rand.Rand, dim int) []float64 {
 	}
 	return out
 }
-
 
 func clamp(x, lo, hi float64) float64 {
 	if x < lo {

@@ -1,0 +1,116 @@
+package sac
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgeslice/internal/ckpt"
+	"edgeslice/internal/mathutil"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// AlgoName is the checkpoint algorithm identifier.
+const AlgoName = "sac"
+
+func init() {
+	ckpt.Register(AlgoName, func(st *ckpt.AgentState) (rl.Agent, error) { return Restore(st) })
+}
+
+var _ ckpt.Snapshotter = (*Agent)(nil)
+
+// Snapshot captures the agent's full training state: the squashed-Gaussian
+// actor head, twin critics and their targets, the three optimizers' Adam
+// moments, the RNG cursor, and optionally the replay buffer.
+func (a *Agent) Snapshot(opts ckpt.SnapshotOptions) (*ckpt.AgentState, error) {
+	cfg, err := json.Marshal(a.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sac: snapshot config: %w", err)
+	}
+	st := &ckpt.AgentState{
+		Algo:      AlgoName,
+		StateDim:  a.stateDim,
+		ActionDim: a.actionDim,
+		Config:    cfg,
+		Nets: map[string]*nn.Network{
+			"actor":     a.actor.Clone(),
+			"q1":        a.q1.Clone(),
+			"q2":        a.q2.Clone(),
+			"q1-target": a.q1T.Clone(),
+			"q2-target": a.q2T.Clone(),
+		},
+		Opts: map[string]*nn.AdamState{
+			"actor": a.actorOpt.StateFor(a.actor),
+			"q1":    a.q1Opt.StateFor(a.q1),
+			"q2":    a.q2Opt.StateFor(a.q2),
+		},
+		RNG: ckpt.RNGState{Seed: a.src.SeedValue(), Calls: a.src.Calls()},
+	}
+	if opts.IncludeReplay {
+		rs := a.replay.State()
+		st.Replay = &rs
+	}
+	return st, nil
+}
+
+// Restore rebuilds a SAC agent from a snapshot (deep copies throughout).
+func Restore(st *ckpt.AgentState) (*Agent, error) {
+	if st.Algo != AlgoName {
+		return nil, fmt.Errorf("sac: snapshot is for %q", st.Algo)
+	}
+	var cfg Config
+	if err := json.Unmarshal(st.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("sac: snapshot config: %w", err)
+	}
+	if st.StateDim <= 0 || st.ActionDim <= 0 || cfg.ReplayCapacity <= 0 {
+		return nil, fmt.Errorf("sac: invalid snapshot dims state=%d action=%d %+v", st.StateDim, st.ActionDim, cfg)
+	}
+	rng, src := mathutil.ReplayRNG(st.RNG.Seed, st.RNG.Calls)
+	a := &Agent{
+		cfg:       cfg,
+		rng:       rng,
+		src:       src,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		q1Opt:     nn.NewAdam(cfg.CriticLR),
+		q2Opt:     nn.NewAdam(cfg.CriticLR),
+		stateDim:  st.StateDim,
+		actionDim: st.ActionDim,
+	}
+	var err error
+	if a.actor, err = st.CloneNet("actor"); err != nil {
+		return nil, err
+	}
+	if a.q1, err = st.CloneNet("q1"); err != nil {
+		return nil, err
+	}
+	if a.q2, err = st.CloneNet("q2"); err != nil {
+		return nil, err
+	}
+	if a.q1T, err = st.CloneNet("q1-target"); err != nil {
+		return nil, err
+	}
+	if a.q2T, err = st.CloneNet("q2-target"); err != nil {
+		return nil, err
+	}
+	if a.actor.InputDim() != st.StateDim || a.actor.OutputDim() != 2*st.ActionDim {
+		return nil, fmt.Errorf("sac: snapshot actor head is %dx%d, want %dx%d",
+			a.actor.InputDim(), a.actor.OutputDim(), st.StateDim, 2*st.ActionDim)
+	}
+	if err := a.actorOpt.SetStateFor(a.actor, st.Opts["actor"]); err != nil {
+		return nil, fmt.Errorf("sac: actor optimizer: %w", err)
+	}
+	if err := a.q1Opt.SetStateFor(a.q1, st.Opts["q1"]); err != nil {
+		return nil, fmt.Errorf("sac: q1 optimizer: %w", err)
+	}
+	if err := a.q2Opt.SetStateFor(a.q2, st.Opts["q2"]); err != nil {
+		return nil, fmt.Errorf("sac: q2 optimizer: %w", err)
+	}
+	if st.Replay != nil {
+		if a.replay, err = rl.RestoreReplay(*st.Replay); err != nil {
+			return nil, fmt.Errorf("sac: %w", err)
+		}
+	} else {
+		a.replay = rl.NewReplayBuffer(cfg.ReplayCapacity)
+	}
+	return a, nil
+}

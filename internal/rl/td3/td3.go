@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"edgeslice/internal/mathutil"
 	"edgeslice/internal/nn"
 	"edgeslice/internal/rl"
 )
@@ -60,6 +61,7 @@ func DefaultConfig() Config {
 type Agent struct {
 	cfg Config
 	rng *rand.Rand
+	src *mathutil.CountingSource // rng's backing source; checkpointed as a cursor
 
 	actor, actorT  *nn.Network
 	q1, q2         *nn.Network
@@ -83,7 +85,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	if stateDim <= 0 || actionDim <= 0 || cfg.Hidden <= 0 || cfg.BatchSize <= 0 || cfg.PolicyDelay <= 0 {
 		return nil, fmt.Errorf("td3: invalid config state=%d action=%d %+v", stateDim, actionDim, cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	rng, src := mathutil.NewCountingRNG(cfg.Seed)
 	actor := nn.NewMLP(rng, stateDim,
 		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
 		nn.LayerSpec{Out: cfg.Hidden, Act: nn.ActLeakyReLU},
@@ -104,6 +106,7 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	return &Agent{
 		cfg:      cfg,
 		rng:      rng,
+		src:      src,
 		actor:    actor,
 		actorT:   actor.Clone(),
 		q1:       q1,
@@ -285,4 +288,3 @@ func clamp01(x float64) float64 {
 	}
 	return x
 }
-

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"edgeslice/internal/mathutil"
 	"edgeslice/internal/nn"
 	"edgeslice/internal/rl"
 )
@@ -55,6 +56,7 @@ func DefaultConfig() Config {
 type Agent struct {
 	cfg    Config
 	rng    *rand.Rand
+	src    *mathutil.CountingSource // rng's backing source; checkpointed as a cursor
 	policy *rl.GaussianPolicy
 	value  *nn.Network
 	vopt   *nn.Adam
@@ -67,10 +69,11 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 	if stateDim <= 0 || actionDim <= 0 || cfg.Hidden <= 0 || cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("trpo: invalid config state=%d action=%d %+v", stateDim, actionDim, cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // simulation
+	rng, src := mathutil.NewCountingRNG(cfg.Seed)
 	return &Agent{
 		cfg:    cfg,
 		rng:    rng,
+		src:    src,
 		policy: rl.NewGaussianPolicy(rng, stateDim, actionDim, cfg.Hidden, cfg.InitStd),
 		value:  rl.NewValueNet(rng, stateDim, cfg.Hidden),
 		vopt:   nn.NewAdam(cfg.ValueLR),

@@ -1,0 +1,89 @@
+package vpg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgeslice/internal/ckpt"
+	"edgeslice/internal/mathutil"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
+)
+
+// AlgoName is the checkpoint algorithm identifier.
+const AlgoName = "vpg"
+
+func init() {
+	ckpt.Register(AlgoName, func(st *ckpt.AgentState) (rl.Agent, error) { return Restore(st) })
+}
+
+var _ ckpt.Snapshotter = (*Agent)(nil)
+
+// Snapshot captures the agent's full training state: the Gaussian policy
+// (mean network and log-stds), the value network, both optimizers' Adam
+// moments, and the RNG cursor.
+func (a *Agent) Snapshot(ckpt.SnapshotOptions) (*ckpt.AgentState, error) {
+	cfg, err := json.Marshal(a.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("vpg: snapshot config: %w", err)
+	}
+	return &ckpt.AgentState{
+		Algo:      AlgoName,
+		StateDim:  a.policy.Mean.InputDim(),
+		ActionDim: a.policy.ActionDim(),
+		Config:    cfg,
+		Nets: map[string]*nn.Network{
+			"policy-mean": a.policy.Mean.Clone(),
+			"value":       a.value.Clone(),
+		},
+		Opts: map[string]*nn.AdamState{
+			"policy-mean": a.popt.StateFor(a.policy.Mean),
+			"value":       a.vopt.StateFor(a.value),
+		},
+		RNG:    ckpt.RNGState{Seed: a.src.SeedValue(), Calls: a.src.Calls()},
+		LogStd: append([]float64(nil), a.policy.LogStd...),
+	}, nil
+}
+
+// Restore rebuilds a VPG agent from a snapshot (deep copies throughout).
+func Restore(st *ckpt.AgentState) (*Agent, error) {
+	if st.Algo != AlgoName {
+		return nil, fmt.Errorf("vpg: snapshot is for %q", st.Algo)
+	}
+	var cfg Config
+	if err := json.Unmarshal(st.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("vpg: snapshot config: %w", err)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("vpg: invalid snapshot config %+v", cfg)
+	}
+	mean, err := st.CloneNet("policy-mean")
+	if err != nil {
+		return nil, err
+	}
+	value, err := st.CloneNet("value")
+	if err != nil {
+		return nil, err
+	}
+	policy, err := rl.RestoreGaussianPolicy(mean, append([]float64(nil), st.LogStd...))
+	if err != nil {
+		return nil, fmt.Errorf("vpg: %w", err)
+	}
+	rng, src := mathutil.ReplayRNG(st.RNG.Seed, st.RNG.Calls)
+	a := &Agent{
+		cfg:    cfg,
+		rng:    rng,
+		src:    src,
+		policy: policy,
+		value:  value,
+		popt:   nn.NewAdam(cfg.PolicyLR),
+		vopt:   nn.NewAdam(cfg.ValueLR),
+	}
+	if err := a.popt.SetStateFor(mean, st.Opts["policy-mean"]); err != nil {
+		return nil, fmt.Errorf("vpg: policy optimizer: %w", err)
+	}
+	if err := a.vopt.SetStateFor(value, st.Opts["value"]); err != nil {
+		return nil, fmt.Errorf("vpg: value optimizer: %w", err)
+	}
+	return a, nil
+}

@@ -1,12 +1,15 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"edgeslice/internal/ckpt"
 	"edgeslice/internal/core"
 	"edgeslice/internal/monitor"
 	"edgeslice/internal/slicemgr"
@@ -20,6 +23,22 @@ type Options struct {
 	// bit-identical for any pool size: each replica's outcome depends only
 	// on (spec, algorithm, replica index), and aggregation sorts by index.
 	Parallel int
+	// WarmStart trains each learning algorithm once — at the base replica
+	// seed, before the worker pool starts — and restores deep copies of the
+	// trained agents into every replica instead of retraining, turning an
+	// R-replica × A-algorithm sweep from R×A trainings into at most A. The
+	// paper's deployment model works the same way: agents are trained
+	// offline once and then deployed across resource autonomies (Sec. V).
+	// Replica environments keep their own seeds, so replicas still differ;
+	// what changes is that they share one trained policy, which is why warm
+	// start is opt-in rather than the default. Results remain deterministic
+	// for any Parallel setting.
+	WarmStart bool
+	// CheckpointDir, when set with WarmStart, caches the trained
+	// checkpoints on disk keyed by (algorithm, hashed compiled system
+	// config, seed, train steps), so repeated scenario invocations skip
+	// training entirely.
+	CheckpointDir string
 	// Monitor, when set, receives a "scenario/<name>/completed" sample as
 	// each replica finishes (value and interval are the completed count).
 	Monitor *monitor.Monitor
@@ -75,6 +94,11 @@ type Summary struct {
 	Scenario   string
 	Replicas   int
 	Algorithms []AlgorithmSummary
+	// Trainings counts from-scratch agent trainings performed during the
+	// run: replicas × learning algorithms when cold, at most one per
+	// learning algorithm with Options.WarmStart, and zero on a checkpoint
+	// cache hit.
+	Trainings int
 }
 
 // replicaSeed derives replica r's deterministic seed from the spec seed.
@@ -89,6 +113,12 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 		return nil, err
 	}
 	opts = opts.normalized()
+
+	var trainings atomic.Int64
+	warm, err := warmCheckpoints(spec, opts, &trainings)
+	if err != nil {
+		return nil, err
+	}
 
 	type job struct {
 		algo    string
@@ -132,7 +162,7 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				res, err := runReplica(spec, j.algo, j.replica)
+				res, err := runReplica(spec, j.algo, j.replica, warm[j.algo], &trainings)
 				results[idx] = res
 				errs[idx] = err
 				reportProgress()
@@ -151,7 +181,7 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 		}
 	}
 
-	summary := &Summary{Scenario: spec.Name, Replicas: opts.Replicas}
+	summary := &Summary{Scenario: spec.Name, Replicas: opts.Replicas, Trainings: int(trainings.Load())}
 	for _, algo := range spec.Algorithms {
 		var group []ReplicaResult
 		for _, res := range results {
@@ -176,11 +206,81 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 	return summary, nil
 }
 
+// warmCheckpoints prepares the WarmStart checkpoint per learning
+// algorithm, training (or loading from the checkpoint store) each unique
+// (algorithm, compiled config) exactly once. It runs serially before the
+// worker pool, so results are deterministic for any Parallel setting.
+func warmCheckpoints(spec Spec, opts Options, trainings *atomic.Int64) (map[string]*ckpt.Checkpoint, error) {
+	if !opts.WarmStart {
+		return nil, nil
+	}
+	var store *ckpt.Store
+	if opts.CheckpointDir != "" {
+		var err error
+		if store, err = ckpt.OpenStore(opts.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	warm := make(map[string]*ckpt.Checkpoint)
+	for _, algoName := range spec.Algorithms {
+		algo, err := core.ParseAlgorithm(algoName)
+		if err != nil {
+			return nil, err
+		}
+		if !algo.IsLearning() {
+			continue
+		}
+		if _, done := warm[algoName]; done {
+			continue
+		}
+		// The canonical training replica is replica 0; every replica
+		// deploys the policy trained at its seed.
+		cfg, err := spec.systemConfig(algo, replicaSeed(spec.Seed, 0))
+		if err != nil {
+			return nil, err
+		}
+		hash, err := core.TrainingFingerprint(cfg)
+		if err != nil {
+			return nil, err
+		}
+		key := ckpt.Key(algoName, hash, cfg.Seed, cfg.TrainSteps)
+		if store != nil {
+			if c, err := store.Load(key); err == nil {
+				warm[algoName] = c
+				continue
+			} else if !errors.Is(err, ckpt.ErrNotFound) {
+				return nil, err
+			}
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Train(); err != nil {
+			return nil, fmt.Errorf("scenario %s: warm-start training %s: %w", spec.Name, algoName, err)
+		}
+		trainings.Add(1)
+		c, err := sys.Snapshot(ckpt.SnapshotOptions{})
+		if err != nil {
+			return nil, err
+		}
+		c.ConfigHash = hash
+		if store != nil {
+			if err := store.Save(key, c); err != nil {
+				return nil, err
+			}
+		}
+		warm[algoName] = c
+	}
+	return warm, nil
+}
+
 // runReplica executes one (algorithm, replica) run: it compiles the spec,
-// trains if needed, then advances period by period, applying runtime events
-// (RA degradation/recovery, slice admission/teardown through the slice
-// manager) at the boundary of the period containing each event's interval.
-func runReplica(spec Spec, algoName string, replica int) (ReplicaResult, error) {
+// trains if needed (or restores the warm-start checkpoint), then advances
+// period by period, applying runtime events (RA degradation/recovery,
+// slice admission/teardown through the slice manager) at the boundary of
+// the period containing each event's interval.
+func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, trainings *atomic.Int64) (ReplicaResult, error) {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return ReplicaResult{}, err
@@ -194,8 +294,19 @@ func runReplica(spec Spec, algoName string, replica int) (ReplicaResult, error) 
 	if err != nil {
 		return ReplicaResult{}, err
 	}
-	if err := sys.Train(); err != nil {
-		return ReplicaResult{}, err
+	if warm != nil && algo.IsLearning() {
+		// Restore deep-copies the checkpoint's agents, so concurrent
+		// replicas never share networks or scratch buffers.
+		if err := sys.Restore(warm); err != nil {
+			return ReplicaResult{}, err
+		}
+	} else {
+		if algo.IsLearning() {
+			trainings.Add(1)
+		}
+		if err := sys.Train(); err != nil {
+			return ReplicaResult{}, err
+		}
 	}
 
 	// The slice manager mirrors the tenant lifecycle: slices without an

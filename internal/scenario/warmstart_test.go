@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"edgeslice/internal/ckpt"
+)
+
+// warmSpec is a small learning scenario for warm-start tests.
+func warmSpec() Spec {
+	spec := fastSpec()
+	spec.Periods = 2
+	spec.Algorithms = []string{"edgeslice", "taro"}
+	spec.TrainSteps = 400
+	return spec
+}
+
+func TestWarmStartTrainsOnceAndMatchesColdBaseReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	spec := warmSpec()
+
+	cold, err := Run(spec, Options{Replicas: 3, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Trainings != 3 {
+		t.Errorf("cold run trained %d times, want 3 (one per learning replica)", cold.Trainings)
+	}
+
+	warm, err := Run(spec, Options{Replicas: 3, Parallel: 2, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Trainings != 1 {
+		t.Errorf("warm run trained %d times, want 1 (one per learning algorithm)", warm.Trainings)
+	}
+
+	// Replica 0 deploys the policy trained at its own seed in both modes,
+	// so the warm result must reproduce the cold one exactly.
+	coldES, warmES := cold.Algorithms[0], warm.Algorithms[0]
+	if coldES.Algorithm != "edgeslice" || warmES.Algorithm != "edgeslice" {
+		t.Fatalf("unexpected algorithm order: %s/%s", coldES.Algorithm, warmES.Algorithm)
+	}
+	if !reflect.DeepEqual(coldES.Replicas[0], warmES.Replicas[0]) {
+		t.Errorf("warm replica 0 diverged from cold replica 0:\n cold %+v\n warm %+v",
+			coldES.Replicas[0], warmES.Replicas[0])
+	}
+	// Baseline algorithms are untouched by warm start.
+	if !reflect.DeepEqual(cold.Algorithms[1], warm.Algorithms[1]) {
+		t.Errorf("warm start changed the taro baseline")
+	}
+}
+
+func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	spec := warmSpec()
+	serial, err := Run(spec, Options{Replicas: 3, Parallel: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(spec, Options{Replicas: 3, Parallel: 3, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("warm summary differs across parallelism:\n serial   %+v\n parallel %+v", serial, parallel)
+	}
+}
+
+func TestWarmStartCachesAcrossInvocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	spec := warmSpec()
+	dir := t.TempDir()
+
+	first, err := Run(spec, Options{Replicas: 2, WarmStart: true, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Trainings != 1 {
+		t.Errorf("first run trained %d times, want 1", first.Trainings)
+	}
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("store holds %d checkpoints, want 1 (one per learning algorithm): %v", len(keys), keys)
+	}
+
+	second, err := Run(spec, Options{Replicas: 2, WarmStart: true, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Trainings != 0 {
+		t.Errorf("cached run trained %d times, want 0", second.Trainings)
+	}
+	first.Trainings, second.Trainings = 0, 0
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached summary diverged:\n first  %+v\n second %+v", first, second)
+	}
+}
