@@ -7,8 +7,17 @@
 //
 // Usage:
 //
-//	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10
+//	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10 [-engine remote|legacy]
 //	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json]
+//
+// The coordinator's default engine ("remote") consumes the per-interval
+// records agents attach to their reports and records the same History a
+// local run produces: per-interval system/slice performance, usage,
+// violations, per-period SLA flags, and primal/dual residuals. Pass
+// -engine legacy for the perf-grid-only driver (rcnet.RunCoordinator),
+// e.g. when coordinating pre-engine agent builds whose reports carry no
+// interval records, or topologies the daemon's environment presets don't
+// cover.
 //
 // The -agent file may be either a full-fidelity checkpoint written by
 // edgeslice-train (format edgeslice-checkpoint-v2) or a legacy v1 actor
@@ -45,17 +54,80 @@ func run() error {
 		train     = flag.Int("train", 12000, "agent: training steps when no -agent file given")
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-round network timeout")
+		engine    = flag.String("engine", "remote", "coordinator: remote (full history) or legacy (perf grids only)")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "coordinator":
-		return runCoordinator(*listen, *slices, *ras, *periods, *timeout)
+		switch *engine {
+		case "remote", "":
+			return runCoordinatorRemote(*listen, *slices, *ras, *periods, *timeout)
+		case "legacy":
+			return runCoordinator(*listen, *slices, *ras, *periods, *timeout)
+		default:
+			return fmt.Errorf("-engine must be remote or legacy, got %q", *engine)
+		}
 	case "agent":
 		return runAgent(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout)
 	default:
 		return fmt.Errorf("-role must be coordinator or agent")
 	}
+}
+
+// runCoordinatorRemote drives the run through the remote execution engine:
+// distributed agents report per-interval records and the coordinator
+// records the same History a local run produces.
+func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.Duration) error {
+	cfg := edgeslice.DefaultConfig()
+	if slices != cfg.EnvTemplate.NumSlices {
+		return fmt.Errorf("the remote engine's presets support %d slices, got %d; use -engine legacy for other topologies",
+			cfg.EnvTemplate.NumSlices, slices)
+	}
+	cfg.NumRAs = ras
+	sys, err := edgeslice.NewSystem(cfg) // shape + coordinator only; envs and agents live remotely
+	if err != nil {
+		return err
+	}
+	hub, err := edgeslice.NewHub(listen, slices, ras)
+	if err != nil {
+		return err
+	}
+	exec := edgeslice.NewRemoteExecutor(hub, timeout)
+	defer func() { _ = exec.Close() }()
+	fmt.Printf("coordinator listening on %s, waiting for %d agents...\n", hub.Addr(), ras)
+	if err := hub.WaitRegistered(timeout); err != nil {
+		return err
+	}
+	h, err := sys.RunPeriodsWith(exec, periods)
+	if err != nil {
+		if h != nil && h.Periods() > 0 {
+			fmt.Printf("run failed after %d completed period(s): %v\n", h.Periods(), err)
+		}
+		return err
+	}
+	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
+	for p := 0; p < h.Periods(); p++ {
+		perf := make([]float64, h.NumSlices)
+		for i := range perf {
+			for j := 0; j < h.NumRAs; j++ {
+				perf[i] += h.PeriodPerf[p][i][j]
+			}
+		}
+		fmt.Printf("%6d | %v | %v | primal=%.2f dual=%.2f\n",
+			p, perf, h.SLAMet[p], h.Primal[p], h.Dual[p])
+	}
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsteady-state system performance: %.2f per interval\n", mp)
+	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	return exec.Close()
 }
 
 func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration) error {

@@ -7,6 +7,12 @@
 //
 //	edgeslice-sim [-algo edgeslice|edgeslice-nt|taro|equal] [-periods 10]
 //	              [-ras 2] [-train 12000] [-seed 1]
+//	              [-engine serial|parallel] [-workers N]
+//
+// Both modes accept -engine/-workers to choose the Algorithm-1 execution
+// engine: "serial" steps RAs one after another, "parallel" steps all RAs
+// concurrently on a persistent worker pool. Results are bit-identical
+// across engines and worker counts; only wall-clock changes.
 //
 // Scenario mode runs a declarative workload scenario — a built-in name or a
 // JSON spec file — through the parallel sharded replica runner and prints
@@ -52,6 +58,9 @@ func run() error {
 		train    = flag.Int("train", 12000, "agent training steps")
 		seed     = flag.Int64("seed", 1, "random seed")
 
+		engine  = flag.String("engine", "serial", "execution engine: serial or parallel (bit-identical; parallel steps all RAs concurrently)")
+		workers = flag.Int("workers", 0, "parallel engine worker-pool size (0 = one per RA in scenario mode, GOMAXPROCS in classic mode)")
+
 		scenarioName = flag.String("scenario", "", "run a named built-in scenario or a JSON spec file")
 		listScen     = flag.Bool("list-scenarios", false, "list built-in scenarios and exit")
 		replicas     = flag.Int("replicas", 1, "scenario replicas (seeds) per algorithm")
@@ -64,6 +73,9 @@ func run() error {
 	if *listScen {
 		return listScenarios(os.Stdout)
 	}
+	if *engine == "remote" {
+		return fmt.Errorf("the remote engine runs under edgeslice-daemon (-role coordinator); -engine here accepts serial or parallel")
+	}
 	if *scenarioName != "" {
 		// Scenarios define their own topology, schedule, algorithms, and
 		// training budget; explicitly set classic-mode flags would be
@@ -74,14 +86,14 @@ func run() error {
 			}
 		}
 		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"),
-			*warmStart || *ckptDir != "", *ckptDir)
+			*warmStart || *ckptDir != "", *ckptDir, *engine, *workers)
 	}
 	for _, name := range []string{"replicas", "parallel", "warm-start", "ckpt-dir"} {
 		if flagWasSet(name) {
 			return fmt.Errorf("-%s applies to scenario mode only; pass -scenario to use the replica runner", name)
 		}
 	}
-	return runClassic(*algoName, *periods, *ras, *train, *seed)
+	return runClassic(*algoName, *periods, *ras, *train, *seed, *engine, *workers)
 }
 
 // flagWasSet reports whether a flag was given explicitly (e.g. scenario
@@ -120,7 +132,7 @@ func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
 	return edgeslice.DecodeScenario(f)
 }
 
-func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir string) error {
+func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir, engine string, workers int) error {
 	spec, err := loadScenario(nameOrFile)
 	if err != nil {
 		return err
@@ -133,6 +145,8 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 	opts := edgeslice.ScenarioOptions{
 		Replicas:      replicas,
 		Parallel:      parallel,
+		Engine:        engine,
+		Workers:       workers,
 		WarmStart:     warmStart,
 		CheckpointDir: ckptDir,
 		Progress: func(done, total int) {
@@ -147,11 +161,16 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 	return edgeslice.WriteScenarioSummary(os.Stdout, summary)
 }
 
-func runClassic(algoName string, periods, ras, train int, seed int64) error {
+func runClassic(algoName string, periods, ras, train int, seed int64, engine string, workers int) error {
 	algo, err := edgeslice.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
 	}
+	exec, err := edgeslice.NewExecutor(engine, workers)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = exec.Close() }()
 	cfg := edgeslice.DefaultConfig()
 	cfg.Algo = algo
 	cfg.NumRAs = ras
@@ -168,7 +187,7 @@ func runClassic(algoName string, periods, ras, train int, seed int64) error {
 	if err := sys.Train(); err != nil {
 		return err
 	}
-	h, err := sys.RunPeriods(periods)
+	h, err := sys.RunPeriodsWith(exec, periods)
 	if err != nil {
 		return err
 	}

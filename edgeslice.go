@@ -8,6 +8,10 @@
 //   - System assembly and Algorithm-1 orchestration (NewSystem, Config,
 //     System.Train, System.RunPeriods) — the D-DRL loop coupling the ADMM
 //     performance coordinator with per-RA DDPG orchestration agents.
+//   - Execution engines (Executor, NewSerialExecutor, NewParallelExecutor,
+//     NewRemoteExecutor, System.RunPeriodsWith) — interchangeable serial,
+//     parallel per-RA, and distributed implementations of Algorithm 1's
+//     per-period phases, bit-identical across engines and worker counts.
 //   - Environment construction (EnvConfig, AppProfile, sources) — the
 //     simulated wireless edge computing network of Sec. VI-B.
 //   - Distributed deployment (NewHub, DialAgent, RunCoordinator, RunAgent)
@@ -74,6 +78,22 @@ type (
 
 // Agent is a trained orchestration policy.
 type Agent = rl.Agent
+
+// Executor is an execution engine for Algorithm 1: the same three phases
+// per period (distribute coordination, step T intervals in every RA,
+// collect Σ_t U and run the ADMM update) behind interchangeable
+// implementations — serial in-process stepping, parallel per-RA stepping
+// on a persistent worker pool (bit-identical to serial for any worker
+// count), or remote agents over the RC network interface (recording the
+// same History, monitor series, SLA flags, and residuals as local runs).
+type Executor = core.Executor
+
+// Engine spellings for NewExecutor and the -engine CLI flags.
+const (
+	EngineSerial   = core.EngineSerial
+	EngineParallel = core.EngineParallel
+	EngineRemote   = core.EngineRemote
+)
 
 // Checkpoint types (versioned, full-fidelity agent persistence).
 type (
@@ -190,6 +210,30 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return core.LoadCheckpoi
 // OpenCheckpointStore opens (creating if needed) an on-disk checkpoint
 // cache, the backing of the scenario runner's warm-start mode.
 func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.OpenStore(dir) }
+
+// NewExecutor resolves an in-process engine spelling: "serial" (or empty)
+// or "parallel" (workers ≤ 0 defaults to GOMAXPROCS). Run periods with
+// System.RunPeriodsWith and Close the executor when done.
+func NewExecutor(engine string, workers int) (Executor, error) {
+	return core.NewExecutor(engine, workers)
+}
+
+// NewSerialExecutor returns the serial in-process engine
+// (System.RunPeriods' default).
+func NewSerialExecutor() Executor { return core.NewSerialExecutor() }
+
+// NewParallelExecutor returns the parallel in-process engine: a persistent
+// per-RA worker pool stepping all RAs concurrently each period, with
+// results bit-identical to the serial engine for any worker count.
+func NewParallelExecutor(workers int) Executor { return core.NewParallelExecutor(workers) }
+
+// NewRemoteExecutor returns the distributed engine: the step phase runs in
+// remote agent processes connected to the hub, and their per-interval
+// reports are merged into the same History a local run records. Close
+// shuts the hub down.
+func NewRemoteExecutor(hub *Hub, timeout time.Duration) Executor {
+	return core.NewRemoteExecutor(hub, timeout)
+}
 
 // NewHub starts the coordinator-side RC endpoint on addr.
 func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {

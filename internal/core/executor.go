@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/rl/ddpg"
+)
+
+// Executor runs Algorithm 1 on a System. Every implementation executes the
+// same three phases per period:
+//
+//  1. distribute — push the coordinator's (Z, Y) columns into every RA;
+//  2. step — run T intervals of decentralized orchestration in every RA
+//     (the x-update), recording per-interval outcomes;
+//  3. collect — gather Σ_t U per slice per RA, run the ADMM (Z, Y) update,
+//     and record the period's SLA flags and primal/dual residuals.
+//
+// The implementations differ only in where and how phase 2 executes:
+// Serial steps RAs in-process one after another (the historical
+// RunPeriods behavior), Parallel steps all RAs concurrently on a
+// persistent worker pool, and Remote steps them in separate agent
+// processes over the RC network interface. Serial and Parallel are
+// bit-identical for any worker count; Remote is identical to Serial when
+// the remote agents run the same environments and policies.
+type Executor interface {
+	// Name reports the engine spelling ("serial", "parallel", "remote").
+	Name() string
+	// RunPeriods executes Algorithm 1 for n periods on s, returning the
+	// recorded history. Implementations document their error contract;
+	// Serial and Parallel return a nil history on error.
+	RunPeriods(s *System, n int) (*History, error)
+	// Close releases executor resources (worker pools, network sessions).
+	// A closed executor must not be reused.
+	Close() error
+}
+
+// Engine spellings accepted by NewExecutor and the -engine CLI flags.
+const (
+	EngineSerial   = "serial"
+	EngineParallel = "parallel"
+	EngineRemote   = "remote"
+)
+
+// NewExecutor resolves an in-process engine spelling: "serial" (or empty)
+// and "parallel" (workers ≤ 0 defaults to GOMAXPROCS). The remote engine
+// needs a live hub and timeout; construct it with NewRemoteExecutor.
+func NewExecutor(engine string, workers int) (Executor, error) {
+	switch engine {
+	case "", EngineSerial:
+		return NewSerialExecutor(), nil
+	case EngineParallel:
+		return NewParallelExecutor(workers), nil
+	case EngineRemote:
+		return nil, fmt.Errorf("core: the remote engine wraps a live hub; construct it with NewRemoteExecutor")
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", engine, EngineSerial, EngineParallel)
+	}
+}
+
+// checkRunnable validates the shared RunPeriods preconditions of the
+// in-process executors.
+func (s *System) checkRunnable(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: periods %d must be positive", n)
+	}
+	if !s.trained {
+		return fmt.Errorf("core: RunPeriods before Train/SetAgents")
+	}
+	return nil
+}
+
+// distribute pushes the coordinator's (Z, Y) columns into every RA
+// (phase 1 of Alg. 1: agents act under the coordinating information for
+// all intervals in T).
+func (s *System) distribute() error {
+	I := s.cfg.EnvTemplate.NumSlices
+	zGrid := s.coord.Z()
+	yGrid := s.coord.Y()
+	for j := 0; j < s.cfg.NumRAs; j++ {
+		zCol := make([]float64, I)
+		yCol := make([]float64, I)
+		for i := 0; i < I; i++ {
+			zCol[i] = zGrid[i][j]
+			yCol[i] = yGrid[i][j]
+		}
+		if err := s.envs[j].SetCoordination(zCol, yCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectAndUpdate gathers Σ_t U per slice per RA from the local
+// environments and finishes the period (phase 3).
+func (s *System) collectAndUpdate(h *History) error {
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	perf := make([][]float64, I)
+	for i := range perf {
+		perf[i] = make([]float64, J)
+	}
+	for j := 0; j < J; j++ {
+		pp := s.envs[j].PeriodPerf()
+		for i := 0; i < I; i++ {
+			perf[i][j] = pp[i]
+		}
+	}
+	return s.finishPeriod(h, perf)
+}
+
+// finishPeriod runs the ADMM update on the collected performance grid and
+// appends the period's coordinator-side records — shared by every
+// executor, so local and remote runs produce identical SLA flags and
+// residual series.
+func (s *System) finishPeriod(h *History, perf [][]float64) error {
+	if err := s.coord.Update(perf); err != nil {
+		return err
+	}
+	sla, err := s.coord.SLASatisfied(perf)
+	if err != nil {
+		return err
+	}
+	primal, dual := s.coord.Residuals()
+	h.AddPeriod(perf, sla, primal, dual)
+	return nil
+}
+
+// divideUsage turns per-interval usage sums into per-RA means: the shares
+// of the J RAs are summed first and divided once, so the recorded value
+// carries a single rounding instead of J (and the division order cannot
+// depend on how the summands were produced).
+func divideUsage(usage [][]float64, J int) {
+	for i := range usage {
+		for k := range usage[i] {
+			usage[i][k] /= float64(J)
+		}
+	}
+}
+
+// raInterval is one RA's recorded outcome for a single interval — the
+// executor-independent unit the merge phase consumes. Parallel workers
+// fill per-RA slices of these concurrently; the remote executor decodes
+// them from agent reports.
+type raInterval struct {
+	perf      []float64                      // U_i per slice
+	queues    []int                          // post-interval queue lengths
+	eff       [][netsim.NumResources]float64 // effective allocation per slice
+	violation float64
+}
+
+// mergeIntervals folds per-RA interval records into the history and the
+// monitor in deterministic (interval, RA, slice) order — the same
+// summation and recording order as the serial executor — so merged results
+// are bit-identical regardless of worker count or report arrival order.
+func (s *System) mergeIntervals(h *History, base int, recs [][]raInterval) {
+	I := h.NumSlices
+	J := len(recs)
+	for t := 0; t < h.T; t++ {
+		interval := base + t
+		var sysPerf, violation float64
+		slicePerf := make([]float64, I)
+		usage := make([][]float64, I)
+		for i := range usage {
+			usage[i] = make([]float64, netsim.NumResources)
+		}
+		for j := 0; j < J; j++ {
+			rec := recs[j][t]
+			violation += rec.violation
+			for i := 0; i < I; i++ {
+				sysPerf += rec.perf[i]
+				slicePerf[i] += rec.perf[i]
+				for k := 0; k < netsim.NumResources; k++ {
+					usage[i][k] += rec.eff[i][k]
+				}
+				_ = s.mon.Record(monitor.MetricName("perf", j, i), interval, rec.perf[i])
+				_ = s.mon.Record(monitor.MetricName("queue", j, i), interval, float64(rec.queues[i]))
+			}
+		}
+		divideUsage(usage, J)
+		h.AddInterval(sysPerf, slicePerf, usage, violation)
+	}
+}
+
+// serialExecutor is the historical in-process engine: every interval, RAs
+// are stepped one after another in RA order.
+type serialExecutor struct{}
+
+// NewSerialExecutor returns the serial in-process engine —
+// System.RunPeriods' default.
+func NewSerialExecutor() Executor { return serialExecutor{} }
+
+// Name implements Executor.
+func (serialExecutor) Name() string { return EngineSerial }
+
+// Close implements Executor; the serial engine holds no resources.
+func (serialExecutor) Close() error { return nil }
+
+// RunPeriods implements Executor. On error it returns a nil history.
+func (serialExecutor) RunPeriods(s *System, n int) (*History, error) {
+	if err := s.checkRunnable(n); err != nil {
+		return nil, err
+	}
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	T := s.cfg.EnvTemplate.T
+	h := NewHistory(I, J, T)
+
+	for p := 0; p < n; p++ {
+		if err := s.distribute(); err != nil {
+			return nil, err
+		}
+
+		// Run T intervals in each RA (decentralized x-update).
+		for t := 0; t < T; t++ {
+			interval := s.intervalsRun
+			s.intervalsRun++
+			var sysPerf float64
+			slicePerf := make([]float64, I)
+			usage := make([][]float64, I)
+			for i := range usage {
+				usage[i] = make([]float64, netsim.NumResources)
+			}
+			var violation float64
+			for j := 0; j < J; j++ {
+				act, err := s.action(j)
+				if err != nil {
+					return nil, err
+				}
+				res, err := s.envs[j].StepInterval(act)
+				if err != nil {
+					return nil, fmt.Errorf("core: RA %d interval %d: %w", j, interval, err)
+				}
+				violation += res.Violation
+				for i := 0; i < I; i++ {
+					sysPerf += res.Perf[i]
+					slicePerf[i] += res.Perf[i]
+					for k := 0; k < netsim.NumResources; k++ {
+						usage[i][k] += res.Effective[i][k]
+					}
+					s.recordInterval(j, i, interval, res)
+				}
+			}
+			divideUsage(usage, J)
+			h.AddInterval(sysPerf, slicePerf, usage, violation)
+		}
+
+		if err := s.collectAndUpdate(h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// ParallelExecutor steps all RAs concurrently on a persistent worker pool.
+// Within a period, RA trajectories are mutually independent — each agent
+// observes only its own environment under coordination that is fixed for
+// the whole period — so one worker advances one RA through all T intervals
+// without cross-RA barriers. Per-RA interval records are buffered and
+// merged in deterministic RA order afterwards, making the output
+// bit-identical to the serial engine for any worker count.
+//
+// Policy inference is race-free: DDPG agents act through a clone pool
+// (each worker borrows a private actor clone, lock-free), policies loaded
+// with LoadAgent are already safe, and unknown agent implementations are
+// serialized behind a shared mutex. All supported policies are
+// deterministic forward passes, so wrapping never changes an action.
+//
+// A ParallelExecutor is intended to drive one run at a time; concurrent
+// RunPeriods calls on the same executor are not supported (the underlying
+// System is not concurrency-safe either). Close releases the pool.
+type ParallelExecutor struct {
+	workers int
+
+	mu     sync.Mutex
+	jobs   chan func()
+	closed bool
+
+	// Cached action closures (and their DDPG clone pools), keyed on the
+	// system and its agent generation: period-at-a-time driving (the
+	// scenario runner calls RunPeriods(1) per period) must not re-clone
+	// actor networks every call. Accessed only from RunPeriods, which is
+	// single-driver by contract.
+	cacheSys  *System
+	cacheGen  int
+	cacheActs []func() ([]float64, error)
+}
+
+// NewParallelExecutor returns a parallel engine with the given worker-pool
+// size; workers ≤ 0 defaults to GOMAXPROCS. Workers are started lazily on
+// the first RunPeriods call and live until Close.
+func NewParallelExecutor(workers int) *ParallelExecutor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelExecutor{workers: workers}
+}
+
+// Name implements Executor.
+func (e *ParallelExecutor) Name() string { return EngineParallel }
+
+// Workers returns the pool size.
+func (e *ParallelExecutor) Workers() int { return e.workers }
+
+// Close implements Executor: it stops the worker pool. Safe to call more
+// than once; RunPeriods after Close returns an error.
+func (e *ParallelExecutor) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		if e.jobs != nil {
+			close(e.jobs)
+			e.jobs = nil
+		}
+	}
+	return nil
+}
+
+// pool returns the job channel, starting the workers on first use.
+func (e *ParallelExecutor) pool() (chan<- func(), error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: parallel executor is closed")
+	}
+	if e.jobs == nil {
+		e.jobs = make(chan func())
+		for w := 0; w < e.workers; w++ {
+			go func(jobs <-chan func()) {
+				for job := range jobs {
+					job()
+				}
+			}(e.jobs)
+		}
+	}
+	return e.jobs, nil
+}
+
+// RunPeriods implements Executor. On error it returns a nil history; when
+// several RAs fail in the same period, the lowest-numbered RA's error is
+// reported (deterministically, independent of worker scheduling).
+func (e *ParallelExecutor) RunPeriods(s *System, n int) (*History, error) {
+	if err := s.checkRunnable(n); err != nil {
+		return nil, err
+	}
+	jobs, err := e.pool()
+	if err != nil {
+		return nil, err
+	}
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	T := s.cfg.EnvTemplate.T
+	h := NewHistory(I, J, T)
+	acts := e.actionFns(s)
+	recs := make([][]raInterval, J)
+	errs := make([]error, J)
+
+	for p := 0; p < n; p++ {
+		if err := s.distribute(); err != nil {
+			return nil, err
+		}
+		base := s.intervalsRun
+		var wg sync.WaitGroup
+		for j := 0; j < J; j++ {
+			j := j
+			wg.Add(1)
+			jobs <- func() {
+				defer wg.Done()
+				recs[j], errs[j] = stepRA(s.envs[j], T, base, j, acts[j])
+			}
+		}
+		wg.Wait()
+		s.intervalsRun += T
+		for j := 0; j < J; j++ {
+			if errs[j] != nil {
+				return nil, errs[j]
+			}
+		}
+		s.mergeIntervals(h, base, recs)
+		if err := s.collectAndUpdate(h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// actionFns returns the per-RA action closures for s, rebuilding them only
+// when the system or its installed agents changed since the last call.
+func (e *ParallelExecutor) actionFns(s *System) []func() ([]float64, error) {
+	if e.cacheActs == nil || e.cacheSys != s || e.cacheGen != s.agentsGen {
+		e.cacheSys = s
+		e.cacheGen = s.agentsGen
+		e.cacheActs = s.concurrentActionFns()
+	}
+	return e.cacheActs
+}
+
+// stepRA advances one RA through the period's T intervals (the worker-side
+// body of phase 2), buffering the per-interval records for the merge.
+func stepRA(env *netsim.RAEnv, T, base, ra int, act func() ([]float64, error)) ([]raInterval, error) {
+	recs := make([]raInterval, T)
+	for t := 0; t < T; t++ {
+		a, err := act()
+		if err != nil {
+			return nil, err
+		}
+		res, err := env.StepInterval(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: RA %d interval %d: %w", ra, base+t, err)
+		}
+		recs[t] = raInterval{
+			perf:      res.Perf,
+			queues:    res.QueueLens,
+			eff:       res.Effective,
+			violation: res.Violation,
+		}
+	}
+	return recs, nil
+}
+
+// concurrentActionFns returns one action closure per RA, safe to call from
+// concurrent per-RA workers. Baseline policies read only their own RA's
+// environment. Learning agents are wrapped for race-free inference:
+// *ddpg.Agent acts through a clone pool keyed per distinct instance
+// (lock-free; Act ≡ actor.Forward1, so clones act bit-identically),
+// LoadAgent's policies are already safe, and any other implementation is
+// serialized behind one shared mutex (correct for deterministic Act, which
+// every supported algorithm provides).
+func (s *System) concurrentActionFns() []func() ([]float64, error) {
+	J := s.cfg.NumRAs
+	out := make([]func() ([]float64, error), J)
+	if !s.cfg.Algo.IsLearning() {
+		for j := 0; j < J; j++ {
+			j := j
+			out[j] = func() ([]float64, error) { return s.action(j) }
+		}
+		return out
+	}
+	pools := make(map[*ddpg.Agent]*pooledPolicy, 1)
+	var unknownMu sync.Mutex // shared: unknown agents may alias one instance
+	for j := 0; j < J; j++ {
+		env := s.envs[j]
+		var agentAct func([]float64) []float64
+		switch a := s.agents[j].(type) {
+		case *ddpg.Agent:
+			pool, ok := pools[a]
+			if !ok {
+				pool = newPooledPolicy(a.Actor())
+				pools[a] = pool
+			}
+			agentAct = pool.Act
+		case *pooledPolicy, *lockedAgent:
+			agentAct = s.agents[j].Act
+		default:
+			raw := s.agents[j]
+			agentAct = func(state []float64) []float64 {
+				unknownMu.Lock()
+				defer unknownMu.Unlock()
+				return raw.Act(state)
+			}
+		}
+		out[j] = func() ([]float64, error) { return agentAct(env.State()), nil }
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/rcnet"
+)
+
+// RemoteExecutor runs Algorithm 1 with the step phase executing in remote
+// agent processes over the RC network interface: phase 1 broadcasts the
+// coordination grids through the hub, phase 2 happens inside each agent
+// (rcnet.RunAgent), and the agents' per-interval records are merged here
+// in deterministic RA order — the same merge the parallel engine uses —
+// so a distributed run records the same History, monitor series, SLA
+// flags, and primal/dual residuals as a local one.
+//
+// The System supplies the run's shape (slices, RAs, T), the ADMM
+// coordinator, and the monitor; its local environments and agents are
+// never touched — the environments of record live in the agent processes.
+// The system therefore does not need to be trained, and determinism
+// versus a local run holds exactly when the remote agents step
+// identically-configured environments with the same policies.
+type RemoteExecutor struct {
+	hub     *rcnet.Hub
+	timeout time.Duration
+}
+
+// NewRemoteExecutor wraps a live hub; timeout bounds each period's report
+// collection. The executor takes ownership of the session: Close shuts
+// the hub down.
+func NewRemoteExecutor(hub *rcnet.Hub, timeout time.Duration) *RemoteExecutor {
+	return &RemoteExecutor{hub: hub, timeout: timeout}
+}
+
+// Name implements Executor.
+func (e *RemoteExecutor) Name() string { return EngineRemote }
+
+// Close implements Executor: it shuts down the hub session (idempotent).
+func (e *RemoteExecutor) Close() error { return e.hub.Shutdown() }
+
+// RunPeriods implements Executor.
+//
+// Partial-history contract (mirroring rcnet.RunCoordinator): on failure it
+// returns a non-nil error TOGETHER with the history prefix of every period
+// that fully completed — broadcast, collect, merge, and ADMM update — so a
+// dropped agent mid-run does not discard the periods already recorded.
+func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: periods %d must be positive", n)
+	}
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	T := s.cfg.EnvTemplate.T
+	if e.hub.NumSlices() != I || e.hub.NumRAs() != J {
+		return nil, fmt.Errorf("core: hub coordinates %d slices x %d RAs, system is %d x %d",
+			e.hub.NumSlices(), e.hub.NumRAs(), I, J)
+	}
+	h := NewHistory(I, J, T)
+
+	for p := 0; p < n; p++ {
+		if err := e.hub.Broadcast(p, s.coord.Z(), s.coord.Y()); err != nil {
+			return h, fmt.Errorf("core: remote period %d: %w", p, err)
+		}
+		reports, err := e.hub.CollectReports(p, e.timeout)
+		if err != nil {
+			return h, fmt.Errorf("core: remote period %d: %w", p, err)
+		}
+		recs := make([][]raInterval, J)
+		perf := make([][]float64, I)
+		for i := range perf {
+			perf[i] = make([]float64, J)
+		}
+		for j := 0; j < J; j++ {
+			rep := reports[j]
+			if len(rep.Perf) != I {
+				return h, fmt.Errorf("core: RA %d reported %d slices, want %d", j, len(rep.Perf), I)
+			}
+			for i := 0; i < I; i++ {
+				perf[i][j] = rep.Perf[i]
+			}
+			rs, err := decodeIntervals(rep, I, T)
+			if err != nil {
+				return h, fmt.Errorf("core: remote period %d: %w", p, err)
+			}
+			recs[j] = rs
+		}
+		base := s.intervalsRun
+		s.intervalsRun += T
+		s.mergeIntervals(h, base, recs)
+		if err := s.finishPeriod(h, perf); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// decodeIntervals validates one agent report's per-interval records against
+// the run's shape and converts them to the merge representation.
+func decodeIntervals(rep rcnet.Envelope, I, T int) ([]raInterval, error) {
+	if len(rep.Intervals) == 0 {
+		return nil, fmt.Errorf("core: RA %d report carries no interval records (pre-engine agent build?); upgrade the agent or drive the run with rcnet.RunCoordinator", rep.RA)
+	}
+	if len(rep.Intervals) != T {
+		return nil, fmt.Errorf("core: RA %d reported %d intervals, want %d", rep.RA, len(rep.Intervals), T)
+	}
+	recs := make([]raInterval, T)
+	for t, ir := range rep.Intervals {
+		if len(ir.Perf) != I || len(ir.Queues) != I || len(ir.Effective) != I {
+			return nil, fmt.Errorf("core: RA %d interval %d record has %d/%d/%d slices, want %d",
+				rep.RA, t, len(ir.Perf), len(ir.Queues), len(ir.Effective), I)
+		}
+		eff := make([][netsim.NumResources]float64, I)
+		for i, row := range ir.Effective {
+			if len(row) != netsim.NumResources {
+				return nil, fmt.Errorf("core: RA %d interval %d slice %d has %d resources, want %d",
+					rep.RA, t, i, len(row), netsim.NumResources)
+			}
+			copy(eff[i][:], row)
+		}
+		recs[t] = raInterval{
+			perf:      ir.Perf,
+			queues:    ir.Queues,
+			eff:       eff,
+			violation: ir.Violation,
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeslice/internal/baseline"
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rcnet"
+	"edgeslice/internal/rl"
+)
+
+// execTestConfig returns a 3-RA configuration for executor tests.
+func execTestConfig(algo Algorithm) Config {
+	cfg := DefaultConfig()
+	cfg.Algo = algo
+	cfg.NumRAs = 3
+	return cfg
+}
+
+// deployedSystem builds a system ready to run without training: learning
+// algorithms get a fixed, deterministic actor network installed via
+// SetAgents (the deployment path), baselines need nothing.
+func deployedSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Algo.IsLearning() {
+		rng := rand.New(rand.NewSource(7))
+		actor := nn.NewMLP(rng, s.Env(0).StateDim(),
+			nn.LayerSpec{Out: 16, Act: nn.ActLeakyReLU},
+			nn.LayerSpec{Out: s.Env(0).ActionDim(), Act: nn.ActSigmoid},
+		)
+		if err := s.SetAgents([]rl.Agent{newPooledPolicy(actor)}); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// monitorDump flattens every metric series for equality comparison.
+func monitorDump(m *monitor.Monitor) map[string][]monitor.Sample {
+	out := make(map[string][]monitor.Sample)
+	for _, name := range m.Metrics() {
+		out[name] = m.Query(name, 0, 1<<30)
+	}
+	return out
+}
+
+func requireSameRun(t *testing.T, label string, hWant, hGot *History, mWant, mGot *monitor.Monitor) {
+	t.Helper()
+	if !reflect.DeepEqual(hWant, hGot) {
+		t.Errorf("%s: history differs from serial run", label)
+	}
+	if !reflect.DeepEqual(monitorDump(mWant), monitorDump(mGot)) {
+		t.Errorf("%s: monitor series differ from serial run", label)
+	}
+}
+
+func TestNewExecutorSpellings(t *testing.T) {
+	for _, tc := range []struct {
+		engine string
+		want   string
+	}{
+		{"", EngineSerial},
+		{EngineSerial, EngineSerial},
+		{EngineParallel, EngineParallel},
+	} {
+		e, err := NewExecutor(tc.engine, 2)
+		if err != nil {
+			t.Fatalf("NewExecutor(%q): %v", tc.engine, err)
+		}
+		if e.Name() != tc.want {
+			t.Errorf("NewExecutor(%q).Name() = %q, want %q", tc.engine, e.Name(), tc.want)
+		}
+		if err := e.Close(); err != nil {
+			t.Errorf("Close(%q): %v", tc.engine, err)
+		}
+	}
+	if _, err := NewExecutor(EngineRemote, 0); err == nil {
+		t.Error("NewExecutor(remote) should direct callers to NewRemoteExecutor")
+	}
+	if _, err := NewExecutor("bogus", 0); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// TestSerialExecutorIsRunPeriods pins that the explicit serial engine and
+// System.RunPeriods are the same code path: identical History and monitor
+// series for identically-configured systems.
+func TestSerialExecutorIsRunPeriods(t *testing.T) {
+	cfg := execTestConfig(AlgoTARO)
+	s1 := deployedSystem(t, cfg)
+	s2 := deployedSystem(t, cfg)
+	h1, err := s1.RunPeriods(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s2.RunPeriodsWith(NewSerialExecutor(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, "serial-executor", h1, h2, s1.Monitor(), s2.Monitor())
+}
+
+// TestParallelMatchesSerial is the determinism suite's core half: for a
+// learning deployment and a baseline, the parallel engine must be
+// bit-identical to the serial engine for worker counts 1, 4, and NumRAs.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoEdgeSlice, AlgoTARO} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := execTestConfig(algo)
+			ref := deployedSystem(t, cfg)
+			hRef, err := ref.RunPeriods(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, cfg.NumRAs} {
+				e := NewParallelExecutor(workers)
+				s := deployedSystem(t, cfg)
+				h, err := s.RunPeriodsWith(e, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRun(t, fmt.Sprintf("workers=%d", workers), hRef, h, ref.Monitor(), s.Monitor())
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPersistentPoolAcrossCalls exercises the scenario-runner
+// calling pattern: one executor driving many RunPeriods(1) calls must
+// match one serial RunPeriods(n) call, including the continuous monitor
+// interval numbering.
+func TestParallelPersistentPoolAcrossCalls(t *testing.T) {
+	cfg := execTestConfig(AlgoEdgeSlice)
+	ref := deployedSystem(t, cfg)
+	hRef, err := ref.RunPeriods(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := deployedSystem(t, cfg)
+	e := NewParallelExecutor(2)
+	defer e.Close()
+	h := NewHistory(hRef.NumSlices, hRef.NumRAs, hRef.T)
+	for p := 0; p < 3; p++ {
+		hp, err := s.RunPeriodsWith(e, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Append(hp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameRun(t, "period-at-a-time", hRef, h, ref.Monitor(), s.Monitor())
+}
+
+// TestParallelSerializesUnknownAgents proves the fallback path: a shared
+// agent implementation core knows nothing about must still produce the
+// serial result (its Act calls are serialized behind one mutex).
+func TestParallelSerializesUnknownAgents(t *testing.T) {
+	cfg := execTestConfig(AlgoEdgeSlice)
+	// A deterministic but unsafe-looking stub: every Act reuses one shared
+	// scratch buffer, so unsynchronized concurrent calls would race.
+	newStub := func() rl.Agent {
+		scratch := make([]float64, 6)
+		return rl.AgentFunc(func(state []float64) []float64 {
+			for i := range scratch {
+				scratch[i] = 0.1 + 0.05*float64(i%3)
+			}
+			return append([]float64(nil), scratch...)
+		})
+	}
+	ref, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetAgents([]rl.Agent{newStub()}); err != nil {
+		t.Fatal(err)
+	}
+	hRef, err := ref.RunPeriods(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAgents([]rl.Agent{newStub()}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewParallelExecutor(cfg.NumRAs)
+	defer e.Close()
+	h, err := s.RunPeriodsWith(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, "unknown-agent", hRef, h, ref.Monitor(), s.Monitor())
+}
+
+func TestParallelExecutorClosedRejectsRuns(t *testing.T) {
+	e := NewParallelExecutor(2)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	s := deployedSystem(t, execTestConfig(AlgoTARO))
+	if _, err := s.RunPeriodsWith(e, 1); err == nil {
+		t.Error("RunPeriods on a closed executor should fail")
+	}
+}
+
+// TestUsageSumsBeforeDividing pins the usage-accumulation semantics: the
+// recorded per-interval usage is Σ_j Effective[i][k] divided once by J —
+// not J separate additions of Effective/J, which accumulates J roundings.
+func TestUsageSumsBeforeDividing(t *testing.T) {
+	cfg := execTestConfig(AlgoEqualShare)
+	s := deployedSystem(t, cfg)
+	h, err := s.RunPeriods(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute the expected usage from identically-seeded shadow
+	// environments stepped with the same (static) equal-share action.
+	I := cfg.EnvTemplate.NumSlices
+	J := cfg.NumRAs
+	act, err := baseline.EqualShare(I, netsim.NumResources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := make([]*netsim.RAEnv, J)
+	for j := 0; j < J; j++ {
+		envCfg := cfg.EnvTemplate
+		envCfg.ObserveQueue = true
+		envCfg.TrainCoordRandom = false
+		envCfg.Seed = cfg.Seed + int64(j)*7919
+		env, err := netsim.New(envCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[j] = env
+	}
+	for ti := 0; ti < h.Intervals(); ti++ {
+		want := make([][]float64, I)
+		for i := range want {
+			want[i] = make([]float64, netsim.NumResources)
+		}
+		for j := 0; j < J; j++ {
+			res, err := envs[j].StepInterval(act)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < I; i++ {
+				for k := 0; k < netsim.NumResources; k++ {
+					want[i][k] += res.Effective[i][k]
+				}
+			}
+		}
+		for i := 0; i < I; i++ {
+			for k := 0; k < netsim.NumResources; k++ {
+				if got := h.Usage[ti][i][k]; got != want[i][k]/float64(J) {
+					t.Fatalf("interval %d usage[%d][%d] = %v, want sum-then-divide %v",
+						ti, i, k, got, want[i][k]/float64(J))
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteMatchesSerial runs the same deployment twice — once locally
+// under the serial engine, once as a hub plus in-process RunAgent loops
+// under the remote engine — and requires identical History and monitor
+// series: the distributed path finally records everything a local run
+// does.
+func TestRemoteMatchesSerial(t *testing.T) {
+	cfg := execTestConfig(AlgoTARO)
+	const periods = 3
+
+	ref := deployedSystem(t, cfg)
+	hRef, err := ref.RunPeriods(periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	I := cfg.EnvTemplate.NumSlices
+	J := cfg.NumRAs
+	hub, err := rcnet.NewHub("127.0.0.1:0", I, J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	agentErrs := make([]error, J)
+	for j := 0; j < J; j++ {
+		// Reproduce NewSystem's env derivation so the remote RAs step the
+		// exact environments the local run stepped.
+		envCfg := cfg.EnvTemplate
+		envCfg.ObserveQueue = true
+		envCfg.TrainCoordRandom = false
+		envCfg.Seed = cfg.Seed + int64(j)*7919
+		env, err := netsim.New(envCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := rl.AgentFunc(func([]float64) []float64 {
+			a, err := baseline.TARO(env.QueueLens(), netsim.NumResources)
+			if err != nil {
+				panic(err)
+			}
+			return a
+		})
+		client, err := rcnet.DialAgent(hub.Addr(), j, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			defer client.Close()
+			agentErrs[j] = rcnet.RunAgent(client, env, policy, 10*time.Second)
+		}(j)
+	}
+	if err := hub.WaitRegistered(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := NewSystem(cfg) // never trained: remote runs need no local agents
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewRemoteExecutor(hub, 10*time.Second)
+	h, err := sys.RunPeriodsWith(e, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for j, err := range agentErrs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", j, err)
+		}
+	}
+	requireSameRun(t, "remote", hRef, h, ref.Monitor(), sys.Monitor())
+}
+
+// TestRemoteRejectsMismatchedHub pins that a hub sized differently from
+// the system fails with an error instead of panicking mid-broadcast.
+func TestRemoteRejectsMismatchedHub(t *testing.T) {
+	cfg := execTestConfig(AlgoTARO) // 3 RAs, 2 slices
+	sys := deployedSystem(t, cfg)
+	hub, err := rcnet.NewHub("127.0.0.1:0", cfg.EnvTemplate.NumSlices, cfg.NumRAs+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewRemoteExecutor(hub, time.Second)
+	defer e.Close()
+	if _, err := sys.RunPeriodsWith(e, 1); err == nil {
+		t.Error("mismatched hub RA count should fail")
+	}
+}

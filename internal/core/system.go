@@ -168,6 +168,11 @@ type System struct {
 	mon    *monitor.Monitor
 
 	trained bool
+	// agentsGen counts agent installations (Train/SetAgents/Restore); the
+	// parallel executor keys its cached action closures — and their clone
+	// pools — on it so they survive period-at-a-time driving but never
+	// outlive an agent swap.
+	agentsGen int
 	// intervalsRun numbers monitor samples continuously across RunPeriods
 	// calls (the scenario runner advances period by period).
 	intervalsRun int
@@ -255,6 +260,7 @@ func (s *System) Train() error {
 	}
 
 	s.agents = make([]rl.Agent, s.cfg.NumRAs)
+	s.agentsGen++
 	if s.cfg.ShareAgent {
 		agent, err := trainOne(0, s.trainTemplateFor(0))
 		if err != nil {
@@ -291,6 +297,7 @@ func (s *System) SetAgents(agents []rl.Agent) error {
 	default:
 		return fmt.Errorf("core: got %d agents, want 1 or %d", len(agents), s.cfg.NumRAs)
 	}
+	s.agentsGen++
 	s.trained = true
 	return nil
 }
@@ -340,94 +347,20 @@ func (s *System) action(j int) ([]float64, error) {
 	}
 }
 
-// RunPeriods executes Algorithm 1 for n periods: each period, every RA's
-// agent orchestrates T intervals under the current coordinating
-// information, the coordinator collects Σ_t U and updates (Z, Y), and the
-// new coordination is fed back to the agents.
+// RunPeriods executes Algorithm 1 for n periods under the serial engine:
+// each period, every RA's agent orchestrates T intervals under the current
+// coordinating information, the coordinator collects Σ_t U and updates
+// (Z, Y), and the new coordination is fed back to the agents. It is
+// shorthand for RunPeriodsWith(NewSerialExecutor(), n).
 func (s *System) RunPeriods(n int) (*History, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("core: periods %d must be positive", n)
-	}
-	if !s.trained {
-		return nil, fmt.Errorf("core: RunPeriods before Train/SetAgents")
-	}
-	I := s.cfg.EnvTemplate.NumSlices
-	J := s.cfg.NumRAs
-	T := s.cfg.EnvTemplate.T
-	h := NewHistory(I, J, T)
+	return serialExecutor{}.RunPeriods(s, n)
+}
 
-	for p := 0; p < n; p++ {
-		// Distribute coordination to every RA (Alg. 1: agents act under
-		// the coordinating information for all intervals in T).
-		zGrid := s.coord.Z()
-		yGrid := s.coord.Y()
-		for j := 0; j < J; j++ {
-			zCol := make([]float64, I)
-			yCol := make([]float64, I)
-			for i := 0; i < I; i++ {
-				zCol[i] = zGrid[i][j]
-				yCol[i] = yGrid[i][j]
-			}
-			if err := s.envs[j].SetCoordination(zCol, yCol); err != nil {
-				return nil, err
-			}
-		}
-
-		// Run T intervals in each RA (decentralized x-update).
-		perf := make([][]float64, I)
-		for i := range perf {
-			perf[i] = make([]float64, J)
-		}
-		for t := 0; t < T; t++ {
-			interval := s.intervalsRun
-			s.intervalsRun++
-			var sysPerf float64
-			slicePerf := make([]float64, I)
-			usage := make([][]float64, I)
-			for i := range usage {
-				usage[i] = make([]float64, netsim.NumResources)
-			}
-			var violation float64
-			for j := 0; j < J; j++ {
-				act, err := s.action(j)
-				if err != nil {
-					return nil, err
-				}
-				res, err := s.envs[j].StepInterval(act)
-				if err != nil {
-					return nil, fmt.Errorf("core: RA %d interval %d: %w", j, interval, err)
-				}
-				violation += res.Violation
-				for i := 0; i < I; i++ {
-					sysPerf += res.Perf[i]
-					slicePerf[i] += res.Perf[i]
-					for k := 0; k < netsim.NumResources; k++ {
-						usage[i][k] += res.Effective[i][k] / float64(J)
-					}
-					s.recordInterval(j, i, interval, res)
-				}
-			}
-			h.AddInterval(sysPerf, slicePerf, usage, violation)
-		}
-
-		// Collect Σ_t U per slice per RA and update the coordinator.
-		for j := 0; j < J; j++ {
-			pp := s.envs[j].PeriodPerf()
-			for i := 0; i < I; i++ {
-				perf[i][j] = pp[i]
-			}
-		}
-		if err := s.coord.Update(perf); err != nil {
-			return nil, err
-		}
-		sla, err := s.coord.SLASatisfied(perf)
-		if err != nil {
-			return nil, err
-		}
-		primal, dual := s.coord.Residuals()
-		h.AddPeriod(perf, sla, primal, dual)
-	}
-	return h, nil
+// RunPeriodsWith executes Algorithm 1 for n periods under the given
+// execution engine (see Executor): serial, parallel per-RA stepping, or
+// remote agents over the RC network interface.
+func (s *System) RunPeriodsWith(e Executor, n int) (*History, error) {
+	return e.RunPeriods(s, n)
 }
 
 // recordInterval writes per-interval metrics into the system monitor.

@@ -67,8 +67,17 @@ func (c *AgentClient) RecvCoordination(timeout time.Duration) (period int, z, y 
 // ReportPerf sends the period's cumulative slice performance, optionally
 // with the RC-M queue snapshot.
 func (c *AgentClient) ReportPerf(period int, perf []float64, queues []int) error {
+	return c.Report(period, perf, queues, nil)
+}
+
+// Report sends the period's cumulative slice performance together with the
+// per-interval records that let the coordinator reconstruct the full local
+// History (see IntervalRecord). intervals may be nil for the legacy
+// summary-only report.
+func (c *AgentClient) Report(period int, perf []float64, queues []int, intervals []IntervalRecord) error {
 	return writeMsg(c.conn, Envelope{
 		Type: MsgPerfReport, RA: c.ra, Period: period, Perf: perf, Queues: queues,
+		Intervals: intervals,
 	})
 }
 

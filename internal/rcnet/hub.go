@@ -70,6 +70,12 @@ const defaultWriteTimeout = 5 * time.Second
 // Addr returns the listening address (useful with port 0).
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
+// NumSlices returns the per-RA slice count the hub was sized for.
+func (h *Hub) NumSlices() int { return h.numSlices }
+
+// NumRAs returns the number of agents the hub coordinates.
+func (h *Hub) NumRAs() int { return h.numRAs }
+
 // SetWriteTimeout overrides the per-connection write deadline used by
 // Broadcast and Shutdown (0 or negative disables it). Call before the
 // orchestration loop starts; it is not safe to change concurrently with
@@ -247,10 +253,29 @@ func (h *Hub) Broadcast(period int, z, y [][]float64) error {
 // Collect waits for a perf report from every RA for the given period and
 // returns perf[i][j]. Reports for other periods are discarded.
 func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
+	reports, err := h.CollectReports(period, timeout)
+	if err != nil {
+		return nil, err
+	}
 	perf := make([][]float64, h.numSlices)
 	for i := range perf {
 		perf[i] = make([]float64, h.numRAs)
 	}
+	for ra, m := range reports {
+		for i := 0; i < h.numSlices; i++ {
+			perf[i][ra] = m.Perf[i]
+		}
+	}
+	return perf, nil
+}
+
+// CollectReports waits for a perf report from every RA for the given period
+// and returns the full report envelopes indexed by RA — including the
+// per-interval records agents attach (see IntervalRecord). Reports for
+// other periods are discarded. The remote execution engine uses this to
+// rebuild the same History a local run records.
+func (h *Hub) CollectReports(period int, timeout time.Duration) ([]Envelope, error) {
+	out := make([]Envelope, h.numRAs)
 	got := make(map[int]bool, h.numRAs)
 	deadlineC := time.After(timeout)
 	for len(got) < h.numRAs {
@@ -262,9 +287,7 @@ func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
 			if len(m.Perf) != h.numSlices {
 				return nil, fmt.Errorf("rcnet: RA %d reported %d slices, want %d", m.RA, len(m.Perf), h.numSlices)
 			}
-			for i := 0; i < h.numSlices; i++ {
-				perf[i][m.RA] = m.Perf[i]
-			}
+			out[m.RA] = m
 			got[m.RA] = true
 		case <-deadlineC:
 			return nil, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", len(got), h.numRAs, period)
@@ -272,7 +295,7 @@ func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
 			return nil, errors.New("rcnet: hub closed")
 		}
 	}
-	return perf, nil
+	return out, nil
 }
 
 // Shutdown notifies agents, closes all connections and the listener, and

@@ -48,11 +48,32 @@ type Envelope struct {
 	Y      []float64 `json:"y,omitempty"`
 	Perf   []float64 `json:"perf,omitempty"`
 	Queues []int     `json:"queues,omitempty"` // RC-M monitoring payload
+	// Intervals carries the period's per-interval records (one entry per
+	// orchestration interval, in order). Agents driven by RunAgent always
+	// include them; they let the coordinator side reconstruct the same
+	// History and monitor series a local run records. Absent in reports
+	// from pre-engine agent builds.
+	Intervals []IntervalRecord `json:"intervals,omitempty"`
+}
+
+// IntervalRecord is one interval's detailed outcome inside a perf_report:
+// per-slice performance and post-interval queue lengths, the effective
+// [slice][resource] allocation actually applied, and the raw action's
+// capacity violation — everything the coordinator needs to rebuild the
+// full History of a local run (SystemPerf, SlicePerf, Usage, Violations)
+// plus the per-RA monitor series.
+type IntervalRecord struct {
+	Perf      []float64   `json:"perf"`
+	Queues    []int       `json:"queues,omitempty"`
+	Effective [][]float64 `json:"eff,omitempty"`
+	Violation float64     `json:"viol,omitempty"`
 }
 
 // maxLineBytes bounds a single protocol frame to keep a malicious or broken
-// peer from exhausting memory.
-const maxLineBytes = 1 << 20
+// peer from exhausting memory. Perf reports carry per-interval records
+// (T × slices × resources floats), so the bound is sized for long periods
+// on wide slice mixes with room to spare.
+const maxLineBytes = 4 << 20
 
 // writeMsg sends one envelope as a JSON line.
 func writeMsg(w io.Writer, e Envelope) error {
@@ -67,14 +88,24 @@ func writeMsg(w io.Writer, e Envelope) error {
 	return nil
 }
 
-// readMsg reads one JSON line.
+// readMsg reads one JSON line. The frame bound is enforced while reading —
+// accumulation stops the moment maxLineBytes is exceeded — so a peer that
+// streams an endless newline-free frame costs at most maxLineBytes of
+// buffer, not unbounded memory.
 func readMsg(br *bufio.Reader) (Envelope, error) {
-	line, err := br.ReadBytes('\n')
-	if err != nil {
-		return Envelope{}, err
-	}
-	if len(line) > maxLineBytes {
-		return Envelope{}, fmt.Errorf("rcnet: frame too large (%d bytes)", len(line))
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(line)+len(chunk) > maxLineBytes {
+			return Envelope{}, fmt.Errorf("rcnet: frame too large (>%d bytes)", maxLineBytes)
+		}
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return Envelope{}, err
+		}
 	}
 	var e Envelope
 	if err := json.Unmarshal(line, &e); err != nil {

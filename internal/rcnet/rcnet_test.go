@@ -1,8 +1,10 @@
 package rcnet
 
 import (
+	"bufio"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -411,3 +413,243 @@ func TestDistributedOrchestration(t *testing.T) {
 		t.Errorf("coordinator ran %d iterations, want %d", coord.Iterations(), periods)
 	}
 }
+
+// taroPolicy returns a deterministic queue-proportional policy over env.
+func taroPolicy(env *netsim.RAEnv) rl.Agent {
+	return rl.AgentFunc(func([]float64) []float64 {
+		act, err := baseline.TARO(env.QueueLens(), netsim.NumResources)
+		if err != nil {
+			return make([]float64, env.ActionDim())
+		}
+		return act
+	})
+}
+
+func testEnv(t *testing.T, seed int64) *netsim.RAEnv {
+	t.Helper()
+	envCfg := netsim.DefaultExperimentConfig()
+	envCfg.TrainCoordRandom = false
+	envCfg.Seed = seed
+	env, err := netsim.New(envCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	return env
+}
+
+// TestRunCoordinatorPartialHistoryOnDroppedAgent pins the documented
+// partial-history contract: when an agent drops mid-run, RunCoordinator
+// returns a non-nil error together with the intact prefix of fully
+// completed periods, and the prefix's values match what the agents
+// actually reported.
+func TestRunCoordinatorPartialHistoryOnDroppedAgent(t *testing.T) {
+	const (
+		numSlices     = 2
+		numRAs        = 2
+		servedPeriods = 2 // RA 0 disconnects after this many periods
+		askedPeriods  = 5
+	)
+	h, err := NewHub("127.0.0.1:0", numSlices, numRAs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+
+	var wg sync.WaitGroup
+
+	// RA 0: serves servedPeriods rounds, records what it reported, then
+	// closes its connection without a word.
+	env0 := testEnv(t, 1)
+	policy0 := taroPolicy(env0)
+	c0, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := make([][]float64, 0, servedPeriods)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer c0.Close()
+		for p := 0; p < servedPeriods; p++ {
+			period, z, y, err := c0.RecvCoordination(testTimeout)
+			if err != nil {
+				t.Errorf("RA 0 period %d: %v", p, err)
+				return
+			}
+			if err := env0.SetCoordination(z, y); err != nil {
+				t.Error(err)
+				return
+			}
+			for tt := 0; tt < env0.Config().T; tt++ {
+				if _, err := env0.StepInterval(policy0.Act(env0.State())); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			perf := env0.PeriodPerf()
+			reported = append(reported, perf)
+			if err := c0.ReportPerf(period, perf, env0.QueueLens()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// RA 1: a well-behaved agent that runs until shutdown.
+	env1 := testEnv(t, 2)
+	c1, err := DialAgent(h.Addr(), 1, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer c1.Close()
+		// RA 1's coordination reads outlive the short coordinator timeout.
+		if err := RunAgent(c1, env1, taroPolicy(env1), testTimeout); err != nil && !errors.Is(err, ErrShutdown) {
+			var nerr net.Error
+			if !errors.As(err, &nerr) {
+				t.Errorf("RA 1: %v", err)
+			}
+		}
+	}()
+
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := admm.NewCoordinator(admm.Config{
+		NumSlices: numSlices, NumRAs: numRAs, Rho: 1.0,
+		UminPerSlice: []float64{-50, -50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, err := RunCoordinator(h, coord, askedPeriods, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("RunCoordinator should fail after RA 0 drops")
+	}
+	if len(history) != servedPeriods {
+		t.Fatalf("partial history has %d periods, want the intact prefix of %d", len(history), servedPeriods)
+	}
+	for p, grid := range history {
+		if len(grid) != numSlices || len(grid[0]) != numRAs {
+			t.Fatalf("period %d grid is %dx%d, want %dx%d", p, len(grid), len(grid[0]), numSlices, numRAs)
+		}
+		for i := 0; i < numSlices; i++ {
+			if grid[i][0] != reported[p][i] {
+				t.Errorf("period %d slice %d: prefix has %v, RA 0 reported %v", p, i, grid[i][0], reported[p][i])
+			}
+		}
+	}
+	if coord.Iterations() != servedPeriods {
+		t.Errorf("coordinator ran %d iterations, want %d (failed period must not update)", coord.Iterations(), servedPeriods)
+	}
+	_ = h.Shutdown()
+	wg.Wait()
+}
+
+// TestReportCarriesIntervalRecords verifies that RunAgent attaches one
+// IntervalRecord per interval and that the records are consistent with the
+// summary report: per-slice perf sums to the period perf exactly and the
+// final queue snapshot matches.
+func TestReportCarriesIntervalRecords(t *testing.T) {
+	const numSlices = 2
+	h, err := NewHub("127.0.0.1:0", numSlices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Shutdown() }()
+
+	env := testEnv(t, 3)
+	c, err := DialAgent(h.Addr(), 0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer c.Close()
+		if err := RunAgent(c, env, taroPolicy(env), testTimeout); err != nil && !errors.Is(err, ErrShutdown) {
+			t.Errorf("agent: %v", err)
+		}
+	}()
+	if err := h.WaitRegistered(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	z := [][]float64{{-50}, {-50}}
+	y := [][]float64{{0}, {0}}
+	if err := h.Broadcast(0, z, y); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := h.CollectReports(0, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[0]
+	T := env.Config().T
+	if len(rep.Intervals) != T {
+		t.Fatalf("report has %d interval records, want %d", len(rep.Intervals), T)
+	}
+	sums := make([]float64, numSlices)
+	for tt, rec := range rep.Intervals {
+		if len(rec.Perf) != numSlices || len(rec.Queues) != numSlices || len(rec.Effective) != numSlices {
+			t.Fatalf("interval %d record shapes: perf=%d queues=%d eff=%d, want %d",
+				tt, len(rec.Perf), len(rec.Queues), len(rec.Effective), numSlices)
+		}
+		for i := range rec.Effective {
+			if len(rec.Effective[i]) != netsim.NumResources {
+				t.Fatalf("interval %d slice %d has %d resources, want %d",
+					tt, i, len(rec.Effective[i]), netsim.NumResources)
+			}
+		}
+		for i := 0; i < numSlices; i++ {
+			sums[i] += rec.Perf[i]
+		}
+	}
+	for i := 0; i < numSlices; i++ {
+		if sums[i] != rep.Perf[i] {
+			t.Errorf("slice %d: interval perf sums to %v, summary reports %v", i, sums[i], rep.Perf[i])
+		}
+	}
+	last := rep.Intervals[T-1]
+	for i := 0; i < numSlices; i++ {
+		if last.Queues[i] != rep.Queues[i] {
+			t.Errorf("slice %d: final interval queue %d, summary queue %d", i, last.Queues[i], rep.Queues[i])
+		}
+	}
+	_ = h.Shutdown()
+	wg.Wait()
+}
+
+// TestReadMsgBoundsFrameDuringRead proves an endless newline-free frame is
+// rejected at the maxLineBytes bound instead of buffering until OOM.
+func TestReadMsgBoundsFrameDuringRead(t *testing.T) {
+	// An infinite reader that never emits a newline.
+	junk := readerFunc(func(p []byte) (int, error) {
+		for i := range p {
+			p[i] = 'x'
+		}
+		return len(p), nil
+	})
+	if _, err := readMsg(bufio.NewReaderSize(junk, 64*1024)); err == nil {
+		t.Fatal("oversized frame should fail")
+	} else if !strings.Contains(err.Error(), "frame too large") {
+		t.Errorf("error %q should mention the frame bound", err)
+	}
+	// A frame just under the bound still parses.
+	pad := strings.Repeat(" ", 1024)
+	frame := `{"type":"register","ra":3}` + pad + "\n"
+	m, err := readMsg(bufio.NewReader(strings.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != MsgRegister || m.RA != 3 {
+		t.Errorf("parsed %+v, want register ra=3", m)
+	}
+}
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }

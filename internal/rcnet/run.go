@@ -10,9 +10,24 @@ import (
 	"edgeslice/internal/rl"
 )
 
-// RunCoordinator drives Algorithm 1 from the hub side for n periods: it
+// RunCoordinator drives the hub side of Algorithm 1 for n periods: it
 // broadcasts (Z, Y), collects Σ_t U from every RA, and performs the ADMM
-// update. It returns the per-period performance grids.
+// update. It returns the per-period performance grids ([period][slice][ra]).
+//
+// This is the low-level, perf-grid-only driver. Orchestration runs that
+// need the full History, monitor series, SLA flags, and primal/dual
+// residuals of a local run should use the remote execution engine
+// (core.NewRemoteExecutor), which consumes the same hub and the
+// per-interval records agents attach to their reports.
+//
+// Partial-history contract: on failure RunCoordinator returns a non-nil
+// error TOGETHER with the prefix of periods that fully completed before
+// the failure. history[p] is period p's collected perf grid for every
+// period whose broadcast, collect, and ADMM update all succeeded; the
+// period in flight when the error occurred (e.g. an agent dropped
+// mid-collect, surfacing as a collect timeout) is never appended, so the
+// prefix is always internally consistent with the coordinator's (Z, Y)
+// state at the time of the error. Callers may keep and analyze the prefix.
 func RunCoordinator(h *Hub, coord *admm.Coordinator, periods int, timeout time.Duration) ([][][]float64, error) {
 	if periods <= 0 {
 		return nil, fmt.Errorf("rcnet: periods %d must be positive", periods)
@@ -36,8 +51,10 @@ func RunCoordinator(h *Hub, coord *admm.Coordinator, periods int, timeout time.D
 
 // RunAgent drives one RA from the agent side: for each coordination message
 // it installs (z, y), orchestrates T intervals with the policy, and reports
-// the period performance. It returns nil when the coordinator shuts the
-// session down.
+// the period performance together with the per-interval records (perf,
+// queue lengths, effective allocation, capacity violation) that let the
+// coordinator reconstruct the full History of a local run. It returns nil
+// when the coordinator shuts the session down.
 func RunAgent(c *AgentClient, env *netsim.RAEnv, agent rl.Agent, timeout time.Duration) error {
 	for {
 		period, z, y, err := c.RecvCoordination(timeout)
@@ -50,13 +67,26 @@ func RunAgent(c *AgentClient, env *netsim.RAEnv, agent rl.Agent, timeout time.Du
 		if err := env.SetCoordination(z, y); err != nil {
 			return err
 		}
-		for t := 0; t < env.Config().T; t++ {
+		T := env.Config().T
+		intervals := make([]IntervalRecord, T)
+		for t := 0; t < T; t++ {
 			act := agent.Act(env.State())
-			if _, err := env.StepInterval(act); err != nil {
+			res, err := env.StepInterval(act)
+			if err != nil {
 				return err
 			}
+			eff := make([][]float64, len(res.Effective))
+			for i := range res.Effective {
+				eff[i] = append([]float64(nil), res.Effective[i][:]...)
+			}
+			intervals[t] = IntervalRecord{
+				Perf:      res.Perf,
+				Queues:    res.QueueLens,
+				Effective: eff,
+				Violation: res.Violation,
+			}
 		}
-		if err := c.ReportPerf(period, env.PeriodPerf(), env.QueueLens()); err != nil {
+		if err := c.Report(period, env.PeriodPerf(), env.QueueLens(), intervals); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,12 @@ import (
 	"edgeslice/internal/slicemgr"
 )
 
+// Engine spellings for Options.Engine.
+const (
+	EngineSerial   = core.EngineSerial
+	EngineParallel = core.EngineParallel
+)
+
 // Options configures a scenario run.
 type Options struct {
 	// Replicas is the number of independent seeds per algorithm (default 1).
@@ -39,6 +45,16 @@ type Options struct {
 	// config, seed, train steps), so repeated scenario invocations skip
 	// training entirely.
 	CheckpointDir string
+	// Engine selects the execution engine each replica's periods run
+	// under: "serial" (default) or "parallel" (a persistent per-RA worker
+	// pool inside every replica). Engines are bit-identical: the summary
+	// is the same for any engine and worker count.
+	Engine string
+	// Workers bounds the per-replica worker pool of the parallel engine
+	// (default: the scenario's RA count). It composes with Parallel —
+	// replicas fan out across the replica pool, RAs fan out inside each
+	// replica.
+	Workers int
 	// Monitor, when set, receives a "scenario/<name>/completed" sample as
 	// each replica finishes (value and interval are the completed count).
 	Monitor *monitor.Monitor
@@ -113,6 +129,13 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 		return nil, err
 	}
 	opts = opts.normalized()
+	// Fail fast on a bad engine spelling: warm-start otherwise trains every
+	// learning algorithm before the first replica notices the typo.
+	if probe, err := core.NewExecutor(opts.Engine, 1); err != nil {
+		return nil, err
+	} else if err := probe.Close(); err != nil {
+		return nil, err
+	}
 
 	var trainings atomic.Int64
 	warm, err := warmCheckpoints(spec, opts, &trainings)
@@ -162,7 +185,7 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				res, err := runReplica(spec, j.algo, j.replica, warm[j.algo], &trainings)
+				res, _, err := runReplica(spec, j.algo, j.replica, warm[j.algo], &trainings, opts)
 				results[idx] = res
 				errs[idx] = err
 				reportProgress()
@@ -277,35 +300,46 @@ func warmCheckpoints(spec Spec, opts Options, trainings *atomic.Int64) (map[stri
 
 // runReplica executes one (algorithm, replica) run: it compiles the spec,
 // trains if needed (or restores the warm-start checkpoint), then advances
-// period by period, applying runtime events (RA degradation/recovery,
-// slice admission/teardown through the slice manager) at the boundary of
-// the period containing each event's interval.
-func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, trainings *atomic.Int64) (ReplicaResult, error) {
+// period by period under the configured execution engine, applying runtime
+// events (RA degradation/recovery, slice admission/teardown through the
+// slice manager) at the boundary of the period containing each event's
+// interval. The stitched History is returned alongside the summary result
+// (the determinism suite compares it across engines).
+func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, trainings *atomic.Int64, opts Options) (ReplicaResult, *core.History, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = spec.NumRAs
+	}
+	exec, err := core.NewExecutor(opts.Engine, workers)
+	if err != nil {
+		return ReplicaResult{}, nil, err
+	}
+	defer func() { _ = exec.Close() }()
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
-		return ReplicaResult{}, err
+		return ReplicaResult{}, nil, err
 	}
 	seed := replicaSeed(spec.Seed, replica)
 	cfg, err := spec.systemConfig(algo, seed)
 	if err != nil {
-		return ReplicaResult{}, err
+		return ReplicaResult{}, nil, err
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return ReplicaResult{}, err
+		return ReplicaResult{}, nil, err
 	}
 	if warm != nil && algo.IsLearning() {
 		// Restore deep-copies the checkpoint's agents, so concurrent
 		// replicas never share networks or scratch buffers.
 		if err := sys.Restore(warm); err != nil {
-			return ReplicaResult{}, err
+			return ReplicaResult{}, nil, err
 		}
 	} else {
 		if algo.IsLearning() {
 			trainings.Add(1)
 		}
 		if err := sys.Train(); err != nil {
-			return ReplicaResult{}, err
+			return ReplicaResult{}, nil, err
 		}
 	}
 
@@ -327,7 +361,7 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 		}
 		id, err := mgr.Request(sl.Tenant, sl.App.Name, slicemgr.SLA{UminPerPeriod: umin[i]})
 		if err != nil {
-			return ReplicaResult{}, err
+			return ReplicaResult{}, nil, err
 		}
 		managed[i] = id
 	}
@@ -347,25 +381,25 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 		sort.SliceStable(due, func(a, b int) bool { return due[a].At < due[b].At })
 		for _, ev := range due {
 			if err := applyRuntimeEvent(sys, mgr, managed, spec, umin, ev); err != nil {
-				return ReplicaResult{}, err
+				return ReplicaResult{}, nil, err
 			}
 		}
-		hp, err := sys.RunPeriods(1)
+		hp, err := sys.RunPeriodsWith(exec, 1)
 		if err != nil {
-			return ReplicaResult{}, err
+			return ReplicaResult{}, nil, err
 		}
 		if err := h.Append(hp); err != nil {
-			return ReplicaResult{}, err
+			return ReplicaResult{}, nil, err
 		}
 	}
 
 	ssp, err := h.MeanSystemPerf(h.Intervals() / 2)
 	if err != nil {
-		return ReplicaResult{}, err
+		return ReplicaResult{}, nil, err
 	}
 	slaRate, err := h.SLASatisfactionRate(0)
 	if err != nil {
-		return ReplicaResult{}, err
+		return ReplicaResult{}, nil, err
 	}
 	return ReplicaResult{
 		Algorithm:        algoName,
@@ -374,7 +408,7 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 		SSP:              ssp,
 		SLAViolationRate: 1 - slaRate,
 		ActiveSlices:     len(mgr.List()),
-	}, nil
+	}, h, nil
 }
 
 // applyRuntimeEvent enacts one infrastructure or lifecycle event on a
