@@ -10,6 +10,16 @@
 //	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10 [-engine remote|legacy]
 //	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json]
 //
+// Both roles accept -metrics-addr to serve live telemetry (/metrics in
+// Prometheus text format, /healthz as JSON, and /debug/pprof) while the
+// run progresses: the coordinator exports run progress, residuals,
+// per-slice SLA state, and hub connection/report counters; the agent
+// exports its report/coordination counters. The remote-engine coordinator
+// additionally accepts -history (append-only on-disk history log,
+// replayable with edgeslice-exp -replay) and -stream-window
+// (bounded-memory streaming history — prints a steady-state summary
+// instead of the per-period table).
+//
 // The coordinator's default engine ("remote") consumes the per-interval
 // records agents attach to their reports and records the same History a
 // local run produces: per-interval system/slice performance, usage,
@@ -55,6 +65,10 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-round network timeout")
 		engine    = flag.String("engine", "remote", "coordinator: remote (full history) or legacy (perf grids only)")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		streamWindow = flag.Int("stream-window", 0, "coordinator (remote): bounded-memory streaming history with this ring window")
+		historyPath  = flag.String("history", "", "coordinator (remote): write the run's on-disk history log to this file")
 	)
 	flag.Parse()
 
@@ -62,14 +76,20 @@ func run() error {
 	case "coordinator":
 		switch *engine {
 		case "remote", "":
-			return runCoordinatorRemote(*listen, *slices, *ras, *periods, *timeout)
+			return runCoordinatorRemote(*listen, *slices, *ras, *periods, *timeout, *metricsAddr, *streamWindow, *historyPath)
 		case "legacy":
-			return runCoordinator(*listen, *slices, *ras, *periods, *timeout)
+			if *streamWindow != 0 || *historyPath != "" {
+				return fmt.Errorf("-stream-window and -history need the remote engine's full history; the legacy engine records perf grids only")
+			}
+			return runCoordinator(*listen, *slices, *ras, *periods, *timeout, *metricsAddr)
 		default:
 			return fmt.Errorf("-engine must be remote or legacy, got %q", *engine)
 		}
 	case "agent":
-		return runAgent(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout)
+		if *streamWindow != 0 || *historyPath != "" {
+			return fmt.Errorf("-stream-window and -history apply to the coordinator role; the agent keeps no history")
+		}
+		return runAgent(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout, *metricsAddr)
 	default:
 		return fmt.Errorf("-role must be coordinator or agent")
 	}
@@ -78,7 +98,7 @@ func run() error {
 // runCoordinatorRemote drives the run through the remote execution engine:
 // distributed agents report per-interval records and the coordinator
 // records the same History a local run produces.
-func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.Duration) error {
+func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string, streamWindow int, historyPath string) error {
 	cfg := edgeslice.DefaultConfig()
 	if slices != cfg.EnvTemplate.NumSlices {
 		return fmt.Errorf("the remote engine's presets support %d slices, got %d; use -engine legacy for other topologies",
@@ -89,9 +109,30 @@ func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.
 	if err != nil {
 		return err
 	}
+	rec := edgeslice.RecordOptions{StreamWindow: streamWindow}
+	if historyPath != "" {
+		hlog, err := edgeslice.CreateHistoryLog(historyPath, slices, ras, cfg.EnvTemplate.T)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hlog.Close() }()
+		rec.Log = hlog
+	}
+	sys.SetRecording(rec)
 	hub, err := edgeslice.NewHub(listen, slices, ras)
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		reg := edgeslice.NewTelemetryRegistry()
+		sys.EnableTelemetry(reg)
+		hub.EnableTelemetry(reg)
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any { return sys.Health() })
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	exec := edgeslice.NewRemoteExecutor(hub, timeout)
 	defer func() { _ = exec.Close() }()
@@ -105,6 +146,12 @@ func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.
 			fmt.Printf("run failed after %d completed period(s): %v\n", h.Periods(), err)
 		}
 		return err
+	}
+	if h.Streaming() {
+		if err := printStreamingSummary(h); err != nil {
+			return err
+		}
+		return exec.Close()
 	}
 	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
 	for p := 0; p < h.Periods(); p++ {
@@ -130,12 +177,42 @@ func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.
 	return exec.Close()
 }
 
-func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration) error {
+// printStreamingSummary reports what a bounded-memory run retains: online
+// summaries instead of the full per-period table.
+func printStreamingSummary(h *edgeslice.History) error {
+	fmt.Printf("streaming history (window %d): %d periods, %d intervals retained as summaries\n",
+		h.StreamWindow(), h.Periods(), h.Intervals())
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady-state system performance: %.2f per interval\n", mp)
+	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	primal, dual := h.LastResiduals()
+	fmt.Printf("final residuals: primal=%.2f dual=%.2f\n", primal, dual)
+	return nil
+}
+
+func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string) error {
 	hub, err := edgeslice.NewHub(listen, slices, ras)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = hub.Shutdown() }()
+	if metricsAddr != "" {
+		reg := edgeslice.NewTelemetryRegistry()
+		hub.EnableTelemetry(reg)
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	}
 	fmt.Printf("coordinator listening on %s, waiting for %d agents...\n", hub.Addr(), ras)
 	if err := hub.WaitRegistered(timeout); err != nil {
 		return err
@@ -160,7 +237,7 @@ func runCoordinator(listen string, slices, ras, periods int, timeout time.Durati
 	return hub.Shutdown()
 }
 
-func runAgent(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration) error {
+func runAgent(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration, metricsAddr string) error {
 	envCfg := edgeslice.DefaultEnvConfig()
 	if slices != envCfg.NumSlices {
 		return fmt.Errorf("daemon presets support %d slices, got %d", envCfg.NumSlices, slices)
@@ -216,6 +293,18 @@ func runAgent(connect string, ra, slices int, agentFile string, train int, seed 
 		return err
 	}
 	defer func() { _ = client.Close() }()
+	if metricsAddr != "" {
+		reg := edgeslice.NewTelemetryRegistry()
+		client.EnableTelemetry(reg)
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any {
+			return map[string]any{"ra": ra, "coordinator": connect, "stats": client.Stats()}
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("RA %d: telemetry on http://%s/metrics\n", ra, srv.Addr())
+	}
 	fmt.Printf("RA %d: connected to %s\n", ra, connect)
 	if err := edgeslice.RunAgent(client, env, policy, timeout); err != nil {
 		return err

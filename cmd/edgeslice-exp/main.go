@@ -5,6 +5,12 @@
 //
 //	edgeslice-exp [-fig all|fig6|fig7|fig8|fig9|fig10|fig11]
 //	              [-train 12000] [-periods 10] [-seed 1]
+//
+// It can also replay an on-disk history log (written by edgeslice-sim
+// -history or edgeslice-daemon -history) into the same per-period table
+// and steady-state summary a live run prints:
+//
+//	edgeslice-exp -replay run.histlog
 package main
 
 import (
@@ -28,8 +34,13 @@ func run() error {
 		train   = flag.Int("train", 12000, "agent training steps")
 		periods = flag.Int("periods", 10, "orchestration periods per run")
 		seed    = flag.Int64("seed", 1, "random seed")
+		replay  = flag.String("replay", "", "replay an on-disk history log and print its summary instead of running figures")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		return runReplay(*replay)
+	}
 
 	o := edgeslice.DefaultExperimentOptions()
 	o.TrainSteps = *train
@@ -79,6 +90,50 @@ func run() error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
+	return nil
+}
+
+// runReplay reconstructs a History from an append-only history log and
+// prints the same per-period table and summary a live exact-mode run does.
+func runReplay(path string) error {
+	h, truncated, err := edgeslice.ReplayHistoryLog(path)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", path, err)
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "warning: %s has a truncated tail (crashed writer?); replaying the complete prefix\n", path)
+	}
+	fmt.Printf("%s: %d RAs, %d slices, %d periods x %d intervals\n",
+		path, h.NumRAs, h.NumSlices, h.Periods(), h.T)
+	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
+	for p := 0; p < h.Periods(); p++ {
+		perf := make([]float64, h.NumSlices)
+		for i := range perf {
+			for j := 0; j < h.NumRAs; j++ {
+				perf[i] += h.PeriodPerf[p][i][j]
+			}
+		}
+		fmt.Printf("%6d | %v | %v | primal=%.2f dual=%.2f\n",
+			p, perf, h.SLAMet[p], h.Primal[p], h.Dual[p])
+	}
+	if h.Intervals() == 0 {
+		return nil
+	}
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return err
+	}
+	viol, err := h.ViolationRate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsteady-state system performance: %.2f per interval\n", mp)
+	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	fmt.Printf("SLA violation rate: %.3f\n", viol)
 	return nil
 }
 

@@ -32,6 +32,18 @@
 //
 //	edgeslice-sim -scenario flash-crowd -replicas 8 -warm-start
 //	edgeslice-sim -scenario flash-crowd -replicas 8 -ckpt-dir ~/.cache/edgeslice
+//
+// Telemetry (both modes, all opt-in; defaults leave output and memory
+// behaviour untouched):
+//
+//	-metrics-addr 127.0.0.1:9090   serve /metrics, /healthz and /debug/pprof
+//	-stream-window 1024            bounded-memory streaming history
+//	-history run.histlog           classic: append-only on-disk history log
+//	-history logs/                 scenario: one log per replica in this dir
+//
+// With -stream-window the classic per-period table is unavailable (only
+// bounded summaries are retained), so a steady-state summary is printed
+// instead.
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"edgeslice"
 )
@@ -67,6 +80,10 @@ func run() error {
 		parallel     = flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS)")
 		warmStart    = flag.Bool("warm-start", false, "train each learning algorithm once and clone the policy into every replica")
 		ckptDir      = flag.String("ckpt-dir", "", "checkpoint cache directory (implies -warm-start)")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		streamWindow = flag.Int("stream-window", 0, "bounded-memory streaming history with this ring window (0 = exact in-memory history)")
+		historyPath  = flag.String("history", "", "on-disk history log: a file in classic mode, a directory (one log per replica) in scenario mode")
 	)
 	flag.Parse()
 
@@ -86,14 +103,16 @@ func run() error {
 			}
 		}
 		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"),
-			*warmStart || *ckptDir != "", *ckptDir, *engine, *workers)
+			*warmStart || *ckptDir != "", *ckptDir, *engine, *workers,
+			*metricsAddr, *streamWindow, *historyPath)
 	}
 	for _, name := range []string{"replicas", "parallel", "warm-start", "ckpt-dir"} {
 		if flagWasSet(name) {
 			return fmt.Errorf("-%s applies to scenario mode only; pass -scenario to use the replica runner", name)
 		}
 	}
-	return runClassic(*algoName, *periods, *ras, *train, *seed, *engine, *workers)
+	return runClassic(*algoName, *periods, *ras, *train, *seed, *engine, *workers,
+		*metricsAddr, *streamWindow, *historyPath)
 }
 
 // flagWasSet reports whether a flag was given explicitly (e.g. scenario
@@ -132,7 +151,7 @@ func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
 	return edgeslice.DecodeScenario(f)
 }
 
-func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir, engine string, workers int) error {
+func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir, engine string, workers int, metricsAddr string, streamWindow int, historyDir string) error {
 	spec, err := loadScenario(nameOrFile)
 	if err != nil {
 		return err
@@ -142,6 +161,7 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 	}
 	fmt.Printf("scenario %s: %d RA(s), %d slice(s), %d period(s) x %d interval(s), algorithms %v\n",
 		spec.Name, spec.NumRAs, len(spec.Slices), spec.Periods, spec.T, spec.Algorithms)
+	var replicasDone atomic.Uint64
 	opts := edgeslice.ScenarioOptions{
 		Replicas:      replicas,
 		Parallel:      parallel,
@@ -149,9 +169,34 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 		Workers:       workers,
 		WarmStart:     warmStart,
 		CheckpointDir: ckptDir,
+		StreamWindow:  streamWindow,
+		HistoryLogDir: historyDir,
 		Progress: func(done, total int) {
+			replicasDone.Store(uint64(done))
 			fmt.Fprintf(os.Stderr, "replica %d/%d done\n", done, total)
 		},
+	}
+	if metricsAddr != "" {
+		totalRuns := uint64(len(spec.Algorithms) * replicas)
+		reg := edgeslice.NewTelemetryRegistry()
+		reg.CounterFunc("edgeslice_scenario_replicas_done_total",
+			"Scenario replica runs completed.", replicasDone.Load)
+		reg.GaugeFunc("edgeslice_scenario_replicas",
+			"Scenario replica runs scheduled (algorithms x replicas).",
+			func() float64 { return float64(totalRuns) })
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any {
+			return map[string]any{
+				"scenario":      spec.Name,
+				"algorithms":    spec.Algorithms,
+				"replicas_done": replicasDone.Load(),
+				"replicas":      totalRuns,
+			}
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	summary, err := edgeslice.RunScenario(spec, opts)
 	if err != nil {
@@ -161,7 +206,7 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 	return edgeslice.WriteScenarioSummary(os.Stdout, summary)
 }
 
-func runClassic(algoName string, periods, ras, train int, seed int64, engine string, workers int) error {
+func runClassic(algoName string, periods, ras, train int, seed int64, engine string, workers int, metricsAddr string, streamWindow int, historyPath string) error {
 	algo, err := edgeslice.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -181,6 +226,31 @@ func runClassic(algoName string, periods, ras, train int, seed int64, engine str
 	if err != nil {
 		return err
 	}
+	rec := edgeslice.RecordOptions{StreamWindow: streamWindow}
+	if historyPath != "" {
+		hlog, err := edgeslice.CreateHistoryLog(historyPath, cfg.EnvTemplate.NumSlices, ras, cfg.EnvTemplate.T)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hlog.Close() }()
+		rec.Log = hlog
+	}
+	sys.SetRecording(rec)
+	if metricsAddr != "" {
+		reg := edgeslice.NewTelemetryRegistry()
+		sys.EnableTelemetry(reg)
+		if pe, ok := exec.(interface {
+			EnableTelemetry(*edgeslice.TelemetryRegistry)
+		}); ok {
+			pe.EnableTelemetry(reg)
+		}
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any { return sys.Health() })
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
 	if algo == edgeslice.AlgoEdgeSlice || algo == edgeslice.AlgoEdgeSliceNT {
 		fmt.Printf("training %s agents (%d steps)...\n", algo, train)
 	}
@@ -194,6 +264,9 @@ func runClassic(algoName string, periods, ras, train int, seed int64, engine str
 
 	fmt.Printf("\n%s: %d RAs, %d slices, %d periods x %d intervals\n",
 		algo, ras, cfg.EnvTemplate.NumSlices, periods, cfg.EnvTemplate.T)
+	if h.Streaming() {
+		return printStreamingSummary(h)
+	}
 	fmt.Println("period | per-slice performance (sum over RAs) | SLA met | residuals")
 	for p := 0; p < h.Periods(); p++ {
 		perf := make([]float64, h.NumSlices)
@@ -215,6 +288,38 @@ func runClassic(algoName string, periods, ras, train int, seed int64, engine str
 	}
 	fmt.Printf("\nsteady-state system performance: %.2f per interval\n", mp)
 	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	return nil
+}
+
+// printStreamingSummary reports what a bounded-memory run retains: online
+// summaries instead of the full per-period table.
+func printStreamingSummary(h *edgeslice.History) error {
+	fmt.Printf("streaming history (window %d): %d periods, %d intervals retained as summaries\n",
+		h.StreamWindow(), h.Periods(), h.Intervals())
+	mp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return err
+	}
+	sla, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return err
+	}
+	viol, err := h.ViolationRate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady-state system performance: %.2f per interval\n", mp)
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		v, err := h.SystemPerfQuantile(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("system performance p%g: %.2f\n", q*100, v)
+	}
+	fmt.Printf("SLA satisfaction: %.0f%%\n", sla*100)
+	fmt.Printf("SLA violation rate: %.3f\n", viol)
+	primal, dual := h.LastResiduals()
+	fmt.Printf("final residuals: primal=%.2f dual=%.2f\n", primal, dual)
 	return nil
 }
 

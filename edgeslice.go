@@ -44,6 +44,7 @@ import (
 	"edgeslice/internal/rcnet"
 	"edgeslice/internal/rl"
 	"edgeslice/internal/scenario"
+	"edgeslice/internal/telemetry"
 	"edgeslice/internal/traffic"
 )
 
@@ -137,6 +138,57 @@ type (
 	// ScenarioSummary aggregates a scenario run's replicas.
 	ScenarioSummary = scenario.Summary
 )
+
+// Telemetry types (the streaming observability layer).
+type (
+	// TelemetryRegistry is a named metric collection with a Prometheus
+	// text exposition; subsystems (System, Hub, AgentClient, the parallel
+	// executor) export their counters through one shared registry.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer serves /metrics, /healthz, and /debug/pprof.
+	TelemetryServer = telemetry.Server
+	// RecordOptions selects a System's recording mode: streaming
+	// (bounded-memory) summaries and/or the append-only on-disk history
+	// log.
+	RecordOptions = core.RecordOptions
+	// HistoryLog is the append-only CRC-checked on-disk record of a run,
+	// replayable into a full exact History.
+	HistoryLog = core.HistoryLog
+	// SystemHealth is the /healthz payload: run progress, last residuals,
+	// per-slice SLA state.
+	SystemHealth = core.SystemHealth
+)
+
+// NewTelemetryRegistry creates an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// StartTelemetry serves the registry on addr: /metrics (Prometheus text),
+// /healthz (JSON from health, or the registry snapshot when nil), and the
+// pprof handlers under /debug/pprof/.
+func StartTelemetry(addr string, reg *TelemetryRegistry, health func() any) (*TelemetryServer, error) {
+	return telemetry.StartServer(addr, reg, health)
+}
+
+// NewStreamingHistory allocates a bounded-memory History: per metric a
+// ring of the most recent window samples plus online summaries (count,
+// running mean, min/max, P² quantile sketches), answering the same
+// accessor API as the exact mode in O(window) memory.
+func NewStreamingHistory(numSlices, numRAs, t, window int) *History {
+	return core.NewStreamingHistory(numSlices, numRAs, t, window)
+}
+
+// CreateHistoryLog creates (truncating) an on-disk history log for a run
+// of the given shape.
+func CreateHistoryLog(path string, numSlices, numRAs, t int) (*HistoryLog, error) {
+	return core.CreateHistoryLog(path, numSlices, numRAs, t)
+}
+
+// ReplayHistoryLog reconstructs the exact History a history-log file
+// records. truncated reports a partial tail (crashed writer): every
+// complete record before it is recovered.
+func ReplayHistoryLog(path string) (h *History, truncated bool, err error) {
+	return core.ReplayHistoryLogFile(path)
+}
 
 // Experiment types.
 type (

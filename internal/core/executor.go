@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"edgeslice/internal/monitor"
 	"edgeslice/internal/netsim"
 	"edgeslice/internal/rl/ddpg"
+	"edgeslice/internal/telemetry"
 )
 
 // Executor runs Algorithm 1 on a System. Every implementation executes the
@@ -125,8 +127,7 @@ func (s *System) finishPeriod(h *History, perf [][]float64) error {
 		return err
 	}
 	primal, dual := s.coord.Residuals()
-	h.AddPeriod(perf, sla, primal, dual)
-	return nil
+	return s.commitPeriod(h, perf, sla, primal, dual)
 }
 
 // divideUsage turns per-interval usage sums into per-RA means: the shares
@@ -156,7 +157,7 @@ type raInterval struct {
 // monitor in deterministic (interval, RA, slice) order — the same
 // summation and recording order as the serial executor — so merged results
 // are bit-identical regardless of worker count or report arrival order.
-func (s *System) mergeIntervals(h *History, base int, recs [][]raInterval) {
+func (s *System) mergeIntervals(h *History, base int, recs [][]raInterval) error {
 	I := h.NumSlices
 	J := len(recs)
 	for t := 0; t < h.T; t++ {
@@ -176,13 +177,16 @@ func (s *System) mergeIntervals(h *History, base int, recs [][]raInterval) {
 				for k := 0; k < netsim.NumResources; k++ {
 					usage[i][k] += rec.eff[i][k]
 				}
-				_ = s.mon.Record(monitor.MetricName("perf", j, i), interval, rec.perf[i])
-				_ = s.mon.Record(monitor.MetricName("queue", j, i), interval, float64(rec.queues[i]))
+				s.recordMon(monitor.MetricName("perf", j, i), interval, rec.perf[i])
+				s.recordMon(monitor.MetricName("queue", j, i), interval, float64(rec.queues[i]))
 			}
 		}
 		divideUsage(usage, J)
-		h.AddInterval(sysPerf, slicePerf, usage, violation)
+		if err := s.commitInterval(h, sysPerf, slicePerf, usage, violation); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // serialExecutor is the historical in-process engine: every interval, RAs
@@ -207,7 +211,7 @@ func (serialExecutor) RunPeriods(s *System, n int) (*History, error) {
 	I := s.cfg.EnvTemplate.NumSlices
 	J := s.cfg.NumRAs
 	T := s.cfg.EnvTemplate.T
-	h := NewHistory(I, J, T)
+	h := s.newRunHistory()
 
 	for p := 0; p < n; p++ {
 		if err := s.distribute(); err != nil {
@@ -245,7 +249,9 @@ func (serialExecutor) RunPeriods(s *System, n int) (*History, error) {
 				}
 			}
 			divideUsage(usage, J)
-			h.AddInterval(sysPerf, slicePerf, usage, violation)
+			if err := s.commitInterval(h, sysPerf, slicePerf, usage, violation); err != nil {
+				return nil, err
+			}
 		}
 
 		if err := s.collectAndUpdate(h); err != nil {
@@ -274,6 +280,12 @@ func (serialExecutor) RunPeriods(s *System, n int) (*History, error) {
 // System is not concurrency-safe either). Close releases the pool.
 type ParallelExecutor struct {
 	workers int
+
+	// busy tracks workers currently executing a job (pool occupancy) and
+	// steps counts RA-period step jobs completed — both exported through
+	// EnableTelemetry.
+	busy  atomic.Int64
+	steps atomic.Uint64
 
 	mu     sync.Mutex
 	jobs   chan func()
@@ -332,12 +344,25 @@ func (e *ParallelExecutor) pool() (chan<- func(), error) {
 		for w := 0; w < e.workers; w++ {
 			go func(jobs <-chan func()) {
 				for job := range jobs {
+					e.busy.Add(1)
 					job()
+					e.busy.Add(-1)
 				}
 			}(e.jobs)
 		}
 	}
 	return e.jobs, nil
+}
+
+// EnableTelemetry exports the pool's occupancy and throughput counters
+// through a telemetry registry.
+func (e *ParallelExecutor) EnableTelemetry(reg *telemetry.Registry) {
+	reg.GaugeFunc("edgeslice_executor_workers",
+		"parallel executor pool size", func() float64 { return float64(e.workers) })
+	reg.GaugeFunc("edgeslice_executor_busy_workers",
+		"workers currently stepping an RA", func() float64 { return float64(e.busy.Load()) })
+	reg.CounterFunc("edgeslice_executor_ra_steps_total",
+		"RA period-step jobs completed by the pool", e.steps.Load)
 }
 
 // RunPeriods implements Executor. On error it returns a nil history; when
@@ -351,10 +376,9 @@ func (e *ParallelExecutor) RunPeriods(s *System, n int) (*History, error) {
 	if err != nil {
 		return nil, err
 	}
-	I := s.cfg.EnvTemplate.NumSlices
 	J := s.cfg.NumRAs
 	T := s.cfg.EnvTemplate.T
-	h := NewHistory(I, J, T)
+	h := s.newRunHistory()
 	acts := e.actionFns(s)
 	recs := make([][]raInterval, J)
 	errs := make([]error, J)
@@ -371,6 +395,7 @@ func (e *ParallelExecutor) RunPeriods(s *System, n int) (*History, error) {
 			jobs <- func() {
 				defer wg.Done()
 				recs[j], errs[j] = stepRA(s.envs[j], T, base, j, acts[j])
+				e.steps.Add(1)
 			}
 		}
 		wg.Wait()
@@ -380,7 +405,9 @@ func (e *ParallelExecutor) RunPeriods(s *System, n int) (*History, error) {
 				return nil, errs[j]
 			}
 		}
-		s.mergeIntervals(h, base, recs)
+		if err := s.mergeIntervals(h, base, recs); err != nil {
+			return nil, err
+		}
 		if err := s.collectAndUpdate(h); err != nil {
 			return nil, err
 		}

@@ -57,7 +57,7 @@ func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
 		return nil, fmt.Errorf("core: hub coordinates %d slices x %d RAs, system is %d x %d",
 			e.hub.NumSlices(), e.hub.NumRAs(), I, J)
 	}
-	h := NewHistory(I, J, T)
+	h := s.newRunHistory()
 
 	for p := 0; p < n; p++ {
 		if err := e.hub.Broadcast(p, s.coord.Z(), s.coord.Y()); err != nil {
@@ -88,7 +88,9 @@ func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
 		}
 		base := s.intervalsRun
 		s.intervalsRun += T
-		s.mergeIntervals(h, base, recs)
+		if err := s.mergeIntervals(h, base, recs); err != nil {
+			return h, err
+		}
 		if err := s.finishPeriod(h, perf); err != nil {
 			return h, err
 		}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestHistoryLogRoundTrip writes a real run to disk alongside exact
+// in-memory recording and checks the replay reconstructs the identical
+// History.
+func TestHistoryLogRoundTrip(t *testing.T) {
+	cfg := execTestConfig(AlgoEqualShare)
+	s := deployedSystem(t, cfg)
+	path := filepath.Join(t.TempDir(), "run.histlog")
+	log, err := CreateHistoryLog(path, cfg.EnvTemplate.NumSlices, cfg.NumRAs, cfg.EnvTemplate.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRecording(RecordOptions{Log: log})
+
+	h, err := s.RunPeriods(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, truncated, err := ReplayHistoryLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("replayed history differs from in-memory run:\ngot  %+v\nwant %+v", got, h)
+	}
+}
+
+// TestHistoryLogAppendHistory checks the chunk-at-a-time persistence path
+// (the scenario runner's usage) against whole-run logging.
+func TestHistoryLogAppendHistory(t *testing.T) {
+	const I, J, T = 2, 2, 10
+	rng := rand.New(rand.NewSource(17))
+	whole := NewHistory(I, J, T)
+	chunks := make([]*History, 4)
+	for c := range chunks {
+		chunks[c] = NewHistory(I, J, T)
+		synthRecords(rng, T, chunks[c], whole)
+	}
+
+	path := filepath.Join(t.TempDir(), "chunks.histlog")
+	log, err := CreateHistoryLog(path, I, J, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if err := log.AppendHistory(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Streaming and mis-shaped histories are rejected.
+	if err := log.AppendHistory(NewStreamingHistory(I, J, T, 8)); err == nil {
+		t.Error("AppendHistory(streaming) should error")
+	}
+	if err := log.AppendHistory(NewHistory(I+1, J, T)); err == nil {
+		t.Error("AppendHistory shape mismatch should error")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, truncated, err := ReplayHistoryLogFile(path)
+	if err != nil || truncated {
+		t.Fatalf("replay: %v (truncated %v)", err, truncated)
+	}
+	if !reflect.DeepEqual(got, whole) {
+		t.Fatal("chunked log replay differs from the stitched history")
+	}
+}
+
+// TestHistoryLogTruncatedTail cuts a log mid-record and checks the
+// complete prefix is recovered with the truncation reported.
+func TestHistoryLogTruncatedTail(t *testing.T) {
+	const I, J, T = 2, 2, 10
+	path := filepath.Join(t.TempDir(), "run.histlog")
+	log, err := CreateHistoryLog(path, I, J, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewHistory(I, J, T)
+	synthRecords(rand.New(rand.NewSource(29)), 2*T, full)
+	if err := log.AppendHistory(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last 5 bytes: mid-payload of the final (period) record.
+	cut := filepath.Join(t.TempDir(), "cut.histlog")
+	if err := os.WriteFile(cut, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReplayHistoryLogFile(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("cut log not reported truncated")
+	}
+	if got.Intervals() != 2*T || got.Periods() != 1 {
+		t.Fatalf("recovered %d intervals / %d periods, want %d / 1", got.Intervals(), got.Periods(), 2*T)
+	}
+	// The recovered prefix matches the original record for record.
+	if !reflect.DeepEqual(got.SystemPerf, full.SystemPerf) {
+		t.Error("recovered SystemPerf differs")
+	}
+	if !reflect.DeepEqual(got.PeriodPerf[0], full.PeriodPerf[0]) {
+		t.Error("recovered first period differs")
+	}
+}
+
+func TestHistoryLogRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("not a log at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayHistoryLogFile(garbage); err == nil {
+		t.Error("garbage file should not replay")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayHistoryLogFile(empty); err == nil {
+		t.Error("empty file should not replay")
+	}
+	if _, err := CreateHistoryLog(filepath.Join(dir, "bad"), 0, 2, 10); err == nil {
+		t.Error("zero slices should be rejected")
+	}
+}
+
+// TestHistoryLogRecordShapeChecks pins the writer-side validation.
+func TestHistoryLogRecordShapeChecks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shape.histlog")
+	log, err := CreateHistoryLog(path, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := log.LogInterval(0, []float64{1}, [][]float64{{0, 0, 0}, {0, 0, 0}}, 0); err == nil {
+		t.Error("short slicePerf should error")
+	}
+	if err := log.LogInterval(0, []float64{1, 2}, [][]float64{{0, 0}, {0, 0}}, 0); err == nil {
+		t.Error("short usage row should error")
+	}
+	if err := log.LogPeriod([][]float64{{1, 2}}, []bool{true, false}, 0, 0); err == nil {
+		t.Error("short perf grid should error")
+	}
+	if err := log.LogPeriod([][]float64{{1}, {2}}, []bool{true, false}, 0, 0); err == nil {
+		t.Error("short perf row should error")
+	}
+}

@@ -1,34 +1,118 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeslice/internal/telemetry"
+)
 
 // History captures everything the evaluation figures need from one
 // orchestration run.
+//
+// It has two recording modes. The default (exact) mode appends every
+// interval and period record in memory — O(run length), and the mode the
+// experiments figures require, since they read the raw per-interval slices.
+// The streaming mode (NewStreamingHistory) keeps a fixed-capacity ring of
+// recent samples plus online summary state per metric — O(window) memory
+// regardless of run length — and answers the same accessor API
+// (MeanSystemPerf, MeanUsage, SLASatisfactionRate, …) from the summaries;
+// the raw exported slices stay empty. Long daemon runs pair streaming mode
+// with the on-disk HistoryLog, which can be replayed into an exact History
+// when full fidelity is needed after the fact.
 type History struct {
 	NumSlices, NumRAs, T int
 
-	// Per interval.
+	// Per interval (exact mode only).
 	SystemPerf []float64   // Σ_i Σ_j U^(t) (Fig. 6a)
 	SlicePerf  [][]float64 // [slice][interval]: Σ_j U^(t) (Fig. 6b)
 	Usage      [][][]float64
 	Violations []float64
 
-	// Per period.
+	// Per period (exact mode only).
 	PeriodPerf [][][]float64 // [period][slice][ra]: Σ_t U
 	SLAMet     [][]bool      // [period][slice]
 	Primal     []float64     // coordinator residuals per period
 	Dual       []float64
+
+	// stream is non-nil in streaming mode.
+	stream *historyStream
 }
 
-// NewHistory allocates an empty history.
+// historyStream is the bounded-memory aggregation state of streaming mode:
+// one telemetry.Series (ring + online summary) per metric.
+type historyStream struct {
+	window       int
+	intervals    int
+	periods      int
+	numResources int
+
+	sysPerf    *telemetry.Series   // with p5/p50/p95 sketches
+	slicePerf  []*telemetry.Series // [slice]
+	usage      [][]*telemetry.Series
+	violations *telemetry.Series
+	violating  int // intervals with violation > 0
+
+	slaMet   *telemetry.Series // per-period count of slices whose SLA was met
+	metTotal int
+
+	lastPrimal, lastDual float64
+}
+
+// StreamQuantiles are the quantile probabilities streaming mode tracks for
+// the per-interval system performance.
+var StreamQuantiles = []float64{0.05, 0.5, 0.95}
+
+// NewHistory allocates an empty history in the default exact mode.
 func NewHistory(numSlices, numRAs, t int) *History {
 	h := &History{NumSlices: numSlices, NumRAs: numRAs, T: t}
 	h.SlicePerf = make([][]float64, numSlices)
 	return h
 }
 
+// NewStreamingHistory allocates a history in streaming mode: per metric a
+// ring of the most recent window samples plus online summaries (count,
+// running mean, min/max, P² quantile sketches for the system-performance
+// series), so memory is O(window) independent of run length. A window of
+// 0 or less uses telemetry.DefaultWindow.
+func NewStreamingHistory(numSlices, numRAs, t, window int) *History {
+	if window <= 0 {
+		window = telemetry.DefaultWindow
+	}
+	h := NewHistory(numSlices, numRAs, t)
+	st := &historyStream{
+		window:     window,
+		sysPerf:    telemetry.NewSeries(window, StreamQuantiles...),
+		slicePerf:  make([]*telemetry.Series, numSlices),
+		violations: telemetry.NewSeries(window),
+		slaMet:     telemetry.NewSeries(window),
+	}
+	for i := range st.slicePerf {
+		st.slicePerf[i] = telemetry.NewSeries(window)
+	}
+	h.stream = st
+	return h
+}
+
+// Streaming reports whether the history records in streaming mode.
+func (h *History) Streaming() bool { return h.stream != nil }
+
+// StreamWindow returns the ring capacity of streaming mode (0 in exact
+// mode).
+func (h *History) StreamWindow() int {
+	if h.stream == nil {
+		return 0
+	}
+	return h.stream.window
+}
+
 // AddInterval appends one interval's aggregates. usage is [slice][resource].
 func (h *History) AddInterval(sysPerf float64, slicePerf []float64, usage [][]float64, violation float64) {
+	if st := h.stream; st != nil {
+		st.addInterval(sysPerf, slicePerf, usage, violation)
+		return
+	}
 	h.SystemPerf = append(h.SystemPerf, sysPerf)
 	for i := range slicePerf {
 		h.SlicePerf[i] = append(h.SlicePerf[i], slicePerf[i])
@@ -37,8 +121,39 @@ func (h *History) AddInterval(sysPerf float64, slicePerf []float64, usage [][]fl
 	h.Violations = append(h.Violations, violation)
 }
 
+func (st *historyStream) addInterval(sysPerf float64, slicePerf []float64, usage [][]float64, violation float64) {
+	if st.usage == nil && len(usage) > 0 {
+		st.numResources = len(usage[0])
+		st.usage = make([][]*telemetry.Series, len(usage))
+		for i := range st.usage {
+			st.usage[i] = make([]*telemetry.Series, st.numResources)
+			for k := range st.usage[i] {
+				st.usage[i][k] = telemetry.NewSeries(st.window)
+			}
+		}
+	}
+	st.intervals++
+	st.sysPerf.Observe(sysPerf)
+	for i := range slicePerf {
+		st.slicePerf[i].Observe(slicePerf[i])
+	}
+	for i := range usage {
+		for k := range usage[i] {
+			st.usage[i][k].Observe(usage[i][k])
+		}
+	}
+	st.violations.Observe(violation)
+	if violation > 0 {
+		st.violating++
+	}
+}
+
 // AddPeriod appends one period's coordinator-side records.
 func (h *History) AddPeriod(perf [][]float64, sla []bool, primal, dual float64) {
+	if st := h.stream; st != nil {
+		st.addPeriod(sla, primal, dual)
+		return
+	}
 	cp := make([][]float64, len(perf))
 	for i := range perf {
 		cp[i] = append([]float64(nil), perf[i]...)
@@ -49,9 +164,24 @@ func (h *History) AddPeriod(perf [][]float64, sla []bool, primal, dual float64) 
 	h.Dual = append(h.Dual, dual)
 }
 
+func (st *historyStream) addPeriod(sla []bool, primal, dual float64) {
+	st.periods++
+	met := 0
+	for _, ok := range sla {
+		if ok {
+			met++
+		}
+	}
+	st.metTotal += met
+	st.slaMet.Observe(float64(met))
+	st.lastPrimal, st.lastDual = primal, dual
+}
+
 // Append concatenates another history of the same system shape onto h; the
 // scenario runner uses it to stitch period-at-a-time runs (with events
-// applied between periods) into one continuous record.
+// applied between periods) into one continuous record. A streaming h
+// absorbs an exact other by replaying its records through the summaries;
+// a streaming other cannot be appended (its raw records are gone).
 func (h *History) Append(other *History) error {
 	if other == nil {
 		return fmt.Errorf("core: append nil history")
@@ -59,6 +189,22 @@ func (h *History) Append(other *History) error {
 	if other.NumSlices != h.NumSlices || other.NumRAs != h.NumRAs || other.T != h.T {
 		return fmt.Errorf("core: append shape mismatch: %dx%dxT%d vs %dx%dxT%d",
 			other.NumSlices, other.NumRAs, other.T, h.NumSlices, h.NumRAs, h.T)
+	}
+	if other.Streaming() {
+		return fmt.Errorf("core: cannot append a streaming history: its per-interval records are summarized away; append exact chunks into a streaming accumulator instead")
+	}
+	if h.Streaming() {
+		slicePerf := make([]float64, h.NumSlices)
+		for t := range other.SystemPerf {
+			for i := 0; i < h.NumSlices; i++ {
+				slicePerf[i] = other.SlicePerf[i][t]
+			}
+			h.AddInterval(other.SystemPerf[t], slicePerf, other.Usage[t], other.Violations[t])
+		}
+		for p := range other.PeriodPerf {
+			h.AddPeriod(other.PeriodPerf[p], other.SLAMet[p], other.Primal[p], other.Dual[p])
+		}
+		return nil
 	}
 	h.SystemPerf = append(h.SystemPerf, other.SystemPerf...)
 	for i := range other.SlicePerf {
@@ -74,14 +220,35 @@ func (h *History) Append(other *History) error {
 }
 
 // Intervals returns the number of recorded intervals.
-func (h *History) Intervals() int { return len(h.SystemPerf) }
+func (h *History) Intervals() int {
+	if h.stream != nil {
+		return h.stream.intervals
+	}
+	return len(h.SystemPerf)
+}
 
 // Periods returns the number of recorded periods.
-func (h *History) Periods() int { return len(h.PeriodPerf) }
+func (h *History) Periods() int {
+	if h.stream != nil {
+		return h.stream.periods
+	}
+	return len(h.PeriodPerf)
+}
 
 // MeanSystemPerf returns the average per-interval system performance over
 // the last n intervals (the steady-state number quoted in Fig. 6a).
+//
+// In streaming mode the answer is exact — bit-identical to the default
+// mode — when lastN covers the whole run or fits the retained window;
+// in between (window < lastN < run length) the full-run mean is returned
+// as the documented approximation.
 func (h *History) MeanSystemPerf(lastN int) (float64, error) {
+	if st := h.stream; st != nil {
+		if st.intervals == 0 {
+			return 0, fmt.Errorf("core: empty history")
+		}
+		return streamMean(st.sysPerf, lastN, st.intervals), nil
+	}
 	total := len(h.SystemPerf)
 	if total == 0 {
 		return 0, fmt.Errorf("core: empty history")
@@ -96,15 +263,38 @@ func (h *History) MeanSystemPerf(lastN int) (float64, error) {
 	return sum / float64(lastN), nil
 }
 
+// streamMean answers a trailing mean from a Series: the exact tail when
+// the window retains lastN samples, the exact full-run mean when lastN
+// covers (or exceeds) the run, and the full-run mean as the fallback
+// approximation in between.
+func streamMean(s *telemetry.Series, lastN, total int) float64 {
+	if lastN > 0 && lastN < total {
+		if mean, n := s.TailMean(lastN); n == lastN {
+			return mean
+		}
+	}
+	return s.Sum() / float64(total)
+}
+
 // MeanUsage returns the average usage share of a slice/resource over the
-// last n intervals (Fig. 7's steady state and Fig. 8's η ratios).
+// last n intervals (Fig. 7's steady state and Fig. 8's η ratios). The
+// streaming-mode approximation contract matches MeanSystemPerf.
 func (h *History) MeanUsage(slice, resource, lastN int) (float64, error) {
+	if slice < 0 || slice >= h.NumSlices {
+		return 0, fmt.Errorf("core: slice %d out of range", slice)
+	}
+	if st := h.stream; st != nil {
+		if st.intervals == 0 || st.usage == nil {
+			return 0, fmt.Errorf("core: empty history")
+		}
+		if resource < 0 || resource >= st.numResources {
+			return 0, fmt.Errorf("core: resource %d out of range", resource)
+		}
+		return streamMean(st.usage[slice][resource], lastN, st.intervals), nil
+	}
 	total := len(h.Usage)
 	if total == 0 {
 		return 0, fmt.Errorf("core: empty history")
-	}
-	if slice < 0 || slice >= h.NumSlices {
-		return 0, fmt.Errorf("core: slice %d out of range", slice)
 	}
 	if lastN <= 0 || lastN > total {
 		lastN = total
@@ -140,6 +330,9 @@ func (h *History) UsageRatio(a, b, lastN int) (float64, error) {
 }
 
 func numResourcesOf(h *History) int {
+	if h.stream != nil {
+		return h.stream.numResources
+	}
 	if len(h.Usage) == 0 || len(h.Usage[0]) == 0 {
 		return 0
 	}
@@ -147,8 +340,23 @@ func numResourcesOf(h *History) int {
 }
 
 // SLASatisfactionRate returns the fraction of (period, slice) pairs whose
-// SLA was met over the last n periods.
+// SLA was met over the last n periods. The streaming-mode approximation
+// contract matches MeanSystemPerf (per period instead of per interval).
 func (h *History) SLASatisfactionRate(lastN int) (float64, error) {
+	if st := h.stream; st != nil {
+		if st.periods == 0 {
+			return 0, fmt.Errorf("core: no periods recorded")
+		}
+		if h.NumSlices == 0 {
+			return 0, fmt.Errorf("core: no slices")
+		}
+		if lastN > 0 && lastN < st.periods {
+			if sum, n := st.slaMet.TailSum(lastN); n == lastN {
+				return sum / float64(lastN*h.NumSlices), nil
+			}
+		}
+		return float64(st.metTotal) / float64(st.periods*h.NumSlices), nil
+	}
 	total := len(h.SLAMet)
 	if total == 0 {
 		return 0, fmt.Errorf("core: no periods recorded")
@@ -166,4 +374,66 @@ func (h *History) SLASatisfactionRate(lastN int) (float64, error) {
 		}
 	}
 	return float64(met) / float64(all), nil
+}
+
+// SystemPerfQuantile returns the q-th quantile of the per-interval system
+// performance over the whole run: exact (sorted with linear interpolation)
+// in the default mode, the P² streaming estimate for the tracked
+// StreamQuantiles in streaming mode.
+func (h *History) SystemPerfQuantile(q float64) (float64, error) {
+	if st := h.stream; st != nil {
+		if st.intervals == 0 {
+			return 0, fmt.Errorf("core: empty history")
+		}
+		v, ok := st.sysPerf.Quantile(q)
+		if !ok {
+			return 0, fmt.Errorf("core: streaming mode tracks quantiles %v, not %v", StreamQuantiles, q)
+		}
+		return v, nil
+	}
+	if len(h.SystemPerf) == 0 {
+		return 0, fmt.Errorf("core: empty history")
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("core: quantile %v outside (0, 1)", q)
+	}
+	s := append([]float64(nil), h.SystemPerf...)
+	sort.Float64s(s)
+	return telemetry.ExactQuantile(s, q), nil
+}
+
+// ViolationRate returns the fraction of intervals whose raw action
+// violated the capacity constraint (violation > 0). Exact in both modes.
+func (h *History) ViolationRate() (float64, error) {
+	if st := h.stream; st != nil {
+		if st.intervals == 0 {
+			return 0, fmt.Errorf("core: empty history")
+		}
+		return float64(st.violating) / float64(st.intervals), nil
+	}
+	if len(h.Violations) == 0 {
+		return 0, fmt.Errorf("core: empty history")
+	}
+	var n int
+	for _, v := range h.Violations {
+		if v > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.Violations)), nil
+}
+
+// LastResiduals returns the most recent period's primal and dual ADMM
+// residuals (NaN, NaN when no period is recorded).
+func (h *History) LastResiduals() (primal, dual float64) {
+	if st := h.stream; st != nil {
+		if st.periods == 0 {
+			return math.NaN(), math.NaN()
+		}
+		return st.lastPrimal, st.lastDual
+	}
+	if len(h.Primal) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return h.Primal[len(h.Primal)-1], h.Dual[len(h.Dual)-1]
 }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"edgeslice/internal/monitor"
+	"edgeslice/internal/netsim"
+	"edgeslice/internal/telemetry"
+)
+
+// RecordOptions configures how a System's executors record run history.
+// The zero value is the historical behavior: an exact in-memory History
+// and no on-disk log.
+type RecordOptions struct {
+	// StreamWindow, when positive, makes every run record into a
+	// streaming History (NewStreamingHistory) with this ring window —
+	// O(window) memory regardless of run length — and bounds the system
+	// monitor's per-metric retention to the same window.
+	StreamWindow int
+	// Log, when non-nil, receives every interval and period record the
+	// executors commit (the append-only on-disk history). The caller owns
+	// the log's lifecycle (Close).
+	Log *HistoryLog
+}
+
+// runStats is the System's live run telemetry: lock-free counters updated
+// on the executor hot path plus the last period's coordinator state for
+// health reporting.
+type runStats struct {
+	intervals  atomic.Uint64
+	periods    atomic.Uint64
+	monDropped atomic.Uint64 // monitor samples rejected (out-of-order/duplicate)
+
+	mu         sync.Mutex
+	lastSLA    []bool
+	lastPrimal float64
+	lastDual   float64
+	havePeriod bool
+}
+
+// SystemHealth is the JSON payload of the /healthz endpoint: run progress,
+// the last ADMM residuals, and the per-slice SLA state of the most recent
+// period. Residuals are zero until the first period completes.
+type SystemHealth struct {
+	Algorithm      string  `json:"algorithm"`
+	NumSlices      int     `json:"num_slices"`
+	NumRAs         int     `json:"num_ras"`
+	Intervals      uint64  `json:"intervals"`
+	Periods        uint64  `json:"periods"`
+	MonitorDropped uint64  `json:"monitor_dropped_samples"`
+	PrimalResidual float64 `json:"primal_residual"`
+	DualResidual   float64 `json:"dual_residual"`
+	SLAMet         []bool  `json:"sla_met,omitempty"`
+	Streaming      bool    `json:"streaming"`
+	StreamWindow   int     `json:"stream_window,omitempty"`
+}
+
+// SetRecording configures history recording for subsequent RunPeriods
+// calls. A positive StreamWindow also bounds the system monitor's
+// retention to the window (monitor.SetWindow), so a long streaming run
+// holds O(window) samples end to end.
+func (s *System) SetRecording(opts RecordOptions) {
+	s.rec = opts
+	if opts.StreamWindow > 0 {
+		s.mon.SetWindow(opts.StreamWindow)
+	}
+}
+
+// Recording returns the active recording options.
+func (s *System) Recording() RecordOptions { return s.rec }
+
+// newRunHistory allocates the History a RunPeriods call records into,
+// honoring the configured recording mode.
+func (s *System) newRunHistory() *History {
+	I := s.cfg.EnvTemplate.NumSlices
+	J := s.cfg.NumRAs
+	T := s.cfg.EnvTemplate.T
+	if s.rec.StreamWindow > 0 {
+		return NewStreamingHistory(I, J, T, s.rec.StreamWindow)
+	}
+	return NewHistory(I, J, T)
+}
+
+// commitInterval is the single point every executor records an interval
+// through: the history append, the run counters, and the on-disk log.
+func (s *System) commitInterval(h *History, sysPerf float64, slicePerf []float64, usage [][]float64, violation float64) error {
+	h.AddInterval(sysPerf, slicePerf, usage, violation)
+	s.stats.intervals.Add(1)
+	if s.rec.Log != nil {
+		if err := s.rec.Log.LogInterval(sysPerf, slicePerf, usage, violation); err != nil {
+			return fmt.Errorf("core: history log: %w", err)
+		}
+	}
+	return nil
+}
+
+// commitPeriod mirrors commitInterval for period records; finishPeriod
+// calls it after the ADMM update.
+func (s *System) commitPeriod(h *History, perf [][]float64, sla []bool, primal, dual float64) error {
+	h.AddPeriod(perf, sla, primal, dual)
+	s.stats.periods.Add(1)
+	s.stats.mu.Lock()
+	s.stats.lastSLA = append(s.stats.lastSLA[:0], sla...)
+	s.stats.lastPrimal, s.stats.lastDual = primal, dual
+	s.stats.havePeriod = true
+	s.stats.mu.Unlock()
+	if s.rec.Log != nil {
+		if err := s.rec.Log.LogPeriod(perf, sla, primal, dual); err != nil {
+			return fmt.Errorf("core: history log: %w", err)
+		}
+	}
+	return nil
+}
+
+// recordMon writes one sample into the system monitor, counting rejected
+// writes (out-of-order or duplicate intervals) instead of silently
+// dropping them.
+func (s *System) recordMon(metric string, interval int, v float64) {
+	if err := s.mon.Record(metric, interval, v); err != nil {
+		s.stats.monDropped.Add(1)
+	}
+}
+
+// MonitorDroppedSamples returns the number of monitor writes rejected so
+// far (out-of-order or duplicate interval numbers).
+func (s *System) MonitorDroppedSamples() uint64 { return s.stats.monDropped.Load() }
+
+// Health returns the live run state served by /healthz.
+func (s *System) Health() SystemHealth {
+	h := SystemHealth{
+		Algorithm:      s.cfg.Algo.String(),
+		NumSlices:      s.cfg.EnvTemplate.NumSlices,
+		NumRAs:         s.cfg.NumRAs,
+		Intervals:      s.stats.intervals.Load(),
+		Periods:        s.stats.periods.Load(),
+		MonitorDropped: s.stats.monDropped.Load(),
+		Streaming:      s.rec.StreamWindow > 0,
+		StreamWindow:   s.rec.StreamWindow,
+	}
+	s.stats.mu.Lock()
+	if s.stats.havePeriod {
+		h.PrimalResidual = s.stats.lastPrimal
+		h.DualResidual = s.stats.lastDual
+		h.SLAMet = append([]bool(nil), s.stats.lastSLA...)
+	}
+	s.stats.mu.Unlock()
+	return h
+}
+
+// EnableTelemetry exports the system's run counters and coordinator state
+// through a telemetry registry (the /metrics surface). Idempotent per
+// registry; the registry may be shared with other subsystems (rcnet,
+// executors).
+func (s *System) EnableTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("edgeslice_intervals_total",
+		"orchestration intervals executed", s.stats.intervals.Load)
+	reg.CounterFunc("edgeslice_periods_total",
+		"configuration periods completed (ADMM updates)", s.stats.periods.Load)
+	reg.CounterFunc("edgeslice_monitor_dropped_samples_total",
+		"monitor samples rejected as out-of-order or duplicate", s.stats.monDropped.Load)
+	reg.GaugeFunc("edgeslice_primal_residual",
+		"ADMM primal residual after the last period", func() float64 {
+			s.stats.mu.Lock()
+			defer s.stats.mu.Unlock()
+			return s.stats.lastPrimal
+		})
+	reg.GaugeFunc("edgeslice_dual_residual",
+		"ADMM dual residual after the last period", func() float64 {
+			s.stats.mu.Lock()
+			defer s.stats.mu.Unlock()
+			return s.stats.lastDual
+		})
+	for i := 0; i < s.cfg.EnvTemplate.NumSlices; i++ {
+		i := i
+		reg.GaugeFunc(fmt.Sprintf(`edgeslice_sla_met{slice="%d"}`, i),
+			"1 when the slice's SLA held in the last period", func() float64 {
+				s.stats.mu.Lock()
+				defer s.stats.mu.Unlock()
+				if i < len(s.stats.lastSLA) && s.stats.lastSLA[i] {
+					return 1
+				}
+				return 0
+			})
+	}
+	reg.GaugeFunc("edgeslice_monitor_samples",
+		"samples currently retained by the system monitor", func() float64 {
+			return float64(s.mon.TotalSamples())
+		})
+	reg.CounterFunc("edgeslice_monitor_evicted_samples_total",
+		"monitor samples evicted by the bounded retention window", func() uint64 {
+			return s.mon.EvictedSamples()
+		})
+}
+
+// recordInterval writes one RA/slice interval outcome into the system
+// monitor (the serial executor's per-step hook).
+func (s *System) recordInterval(ra, slice, interval int, res netsim.StepResult) {
+	s.recordMon(monitor.MetricName("perf", ra, slice), interval, res.Perf[slice])
+	s.recordMon(monitor.MetricName("queue", ra, slice), interval, float64(res.QueueLens[slice]))
+}

@@ -176,6 +176,11 @@ type System struct {
 	// intervalsRun numbers monitor samples continuously across RunPeriods
 	// calls (the scenario runner advances period by period).
 	intervalsRun int
+
+	// rec selects the recording mode (exact/streaming, on-disk log) and
+	// stats holds the live run telemetry behind Health/EnableTelemetry.
+	rec   RecordOptions
+	stats runStats
 }
 
 // NewSystem builds the system (agents untrained; call Train before
@@ -361,12 +366,4 @@ func (s *System) RunPeriods(n int) (*History, error) {
 // remote agents over the RC network interface.
 func (s *System) RunPeriodsWith(e Executor, n int) (*History, error) {
 	return e.RunPeriods(s, n)
-}
-
-// recordInterval writes per-interval metrics into the system monitor.
-func (s *System) recordInterval(ra, slice, interval int, res netsim.StepResult) {
-	// Monitor writes cannot fail here (intervals are monotone); ignore the
-	// error to keep the hot loop simple but assert in tests.
-	_ = s.mon.Record(monitor.MetricName("perf", ra, slice), interval, res.Perf[slice])
-	_ = s.mon.Record(monitor.MetricName("queue", ra, slice), interval, float64(res.QueueLens[slice]))
 }

@@ -24,6 +24,12 @@ type Monitor struct {
 	series map[string][]Sample
 	byIMSI map[string]int
 	byIP   map[string]int
+
+	// window, when positive, bounds each metric to its most recent window
+	// samples (streaming-mode retention); evicted counts samples dropped
+	// by that bound across all metrics.
+	window  int
+	evicted uint64
 }
 
 // New creates an empty monitor.
@@ -41,6 +47,53 @@ func MetricName(kind string, ra, slice int) string {
 	return fmt.Sprintf("%s/ra%d/slice%d", kind, ra, slice)
 }
 
+// SetWindow bounds every metric's retention to its most recent n samples
+// (n <= 0 restores unbounded retention). Eviction is amortized: a series
+// is allowed to grow to 2n before its oldest half is discarded in place,
+// so Record stays O(1) amortized with no per-eviction allocation.
+func (m *Monitor) SetWindow(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = n
+	if n <= 0 {
+		return
+	}
+	for metric, s := range m.series {
+		if len(s) > n {
+			m.evicted += uint64(len(s) - n)
+			copy(s, s[len(s)-n:])
+			m.series[metric] = s[:n]
+		}
+	}
+}
+
+// Window returns the configured retention bound (0 = unbounded).
+func (m *Monitor) Window() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.window
+}
+
+// EvictedSamples returns how many samples the retention window has
+// discarded across all metrics.
+func (m *Monitor) EvictedSamples() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.evicted
+}
+
+// TotalSamples returns the number of samples currently retained across
+// all metrics.
+func (m *Monitor) TotalSamples() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, s := range m.series {
+		n += len(s)
+	}
+	return n
+}
+
 // Record appends a sample to a metric. Intervals are expected to be
 // non-decreasing per metric; out-of-order samples are rejected so queries
 // can binary-search.
@@ -54,6 +107,12 @@ func (m *Monitor) Record(metric string, interval int, value float64) error {
 	if n := len(s); n > 0 && s[n-1].Interval > interval {
 		return fmt.Errorf("monitor: out-of-order sample for %s: %d after %d",
 			metric, interval, s[n-1].Interval)
+	}
+	if w := m.window; w > 0 && len(s) >= 2*w {
+		// Amortized copy-down: keep the newest w samples in place.
+		m.evicted += uint64(len(s) - w)
+		copy(s, s[len(s)-w:])
+		s = s[:w]
 	}
 	m.series[metric] = append(s, Sample{Interval: interval, Value: value})
 	return nil
@@ -133,16 +192,30 @@ func (m *Monitor) SliceOfIP(ip string) (int, bool) {
 	return s, ok
 }
 
+// ReduceOver visits every sample of a metric with Interval in [from, to]
+// in interval order, without copying the window, and returns how many
+// samples were visited. fn must not call back into the monitor (it runs
+// under the read lock).
+func (m *Monitor) ReduceOver(metric string, from, to int, fn func(Sample)) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.series[metric]
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Interval >= from })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].Interval > to })
+	for _, sample := range s[lo:hi] {
+		fn(sample)
+	}
+	return hi - lo
+}
+
 // MeanOver returns the mean value of a metric over [from, to], or an error
-// if there are no samples in the window.
+// if there are no samples in the window. It reduces in place (ReduceOver)
+// rather than copying the window.
 func (m *Monitor) MeanOver(metric string, from, to int) (float64, error) {
-	samples := m.Query(metric, from, to)
-	if len(samples) == 0 {
+	var sum float64
+	n := m.ReduceOver(metric, from, to, func(s Sample) { sum += s.Value })
+	if n == 0 {
 		return 0, fmt.Errorf("monitor: no samples for %s in [%d, %d]", metric, from, to)
 	}
-	var sum float64
-	for _, s := range samples {
-		sum += s.Value
-	}
-	return sum / float64(len(samples)), nil
+	return sum / float64(n), nil
 }

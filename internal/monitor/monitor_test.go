@@ -129,3 +129,129 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("expected 8 metrics, got %d", len(m.Metrics()))
 	}
 }
+
+func TestReduceOverMatchesQuery(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		_ = m.Record("q", i, float64(i)*1.5)
+	}
+	var got []Sample
+	n := m.ReduceOver("q", 10, 42, func(s Sample) { got = append(got, s) })
+	want := m.Query("q", 10, 42)
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("ReduceOver visited %d samples, Query returned %d", n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: reduce %+v, query %+v", i, got[i], want[i])
+		}
+	}
+	if n := m.ReduceOver("q", 500, 600, func(Sample) {}); n != 0 {
+		t.Errorf("empty window visited %d samples", n)
+	}
+	if n := m.ReduceOver("missing", 0, 10, func(Sample) {}); n != 0 {
+		t.Errorf("missing metric visited %d samples", n)
+	}
+}
+
+func TestWindowedRetention(t *testing.T) {
+	m := New()
+	m.SetWindow(10)
+	for i := 0; i < 100; i++ {
+		if err := m.Record("q", i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retention is amortized: between w and 2w samples retained, and the
+	// retained suffix is always the newest contiguous run.
+	s := m.Query("q", 0, 99)
+	if len(s) < 10 || len(s) > 20 {
+		t.Fatalf("retained %d samples, want in [10, 20]", len(s))
+	}
+	if s[len(s)-1].Interval != 99 {
+		t.Fatalf("newest sample is %d, want 99", s[len(s)-1].Interval)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Interval != s[i-1].Interval+1 {
+			t.Fatalf("retained run not contiguous at %d: %v -> %v", i, s[i-1], s[i])
+		}
+	}
+	if ev := m.EvictedSamples(); ev != uint64(100-len(s)) {
+		t.Errorf("evicted = %d, want %d", ev, 100-len(s))
+	}
+	// Ordering invariant survives eviction, so MeanOver still binary-searches.
+	mean, err := m.MeanOver("q", 95, 99)
+	if err != nil || mean != 97 {
+		t.Errorf("MeanOver tail = %v (%v), want 97", mean, err)
+	}
+	// Shrinking the window trims existing series immediately.
+	m.SetWindow(3)
+	if got := len(m.Query("q", 0, 99)); got != 3 {
+		t.Errorf("after SetWindow(3): %d samples retained", got)
+	}
+	if m.Window() != 3 {
+		t.Errorf("Window() = %d", m.Window())
+	}
+	if m.TotalSamples() != 3 {
+		t.Errorf("TotalSamples = %d", m.TotalSamples())
+	}
+}
+
+// BenchmarkMeanOver compares the allocation-free reduce against the
+// historical Query-then-sum implementation.
+func BenchmarkMeanOver(b *testing.B) {
+	m := New()
+	for i := 0; i < 10000; i++ {
+		_ = m.Record("q", i, float64(i))
+	}
+	b.Run("reduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := m.MeanOver("q", 1000, 9000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			samples := m.Query("q", 1000, 9000)
+			if len(samples) == 0 {
+				b.Fatal("no samples")
+			}
+			var sum float64
+			for _, s := range samples {
+				sum += s.Value
+			}
+			_ = sum / float64(len(samples))
+		}
+	})
+}
+
+// BenchmarkMeanOverSmallWindow is the typical SLA-check shape: a short
+// trailing window, where the copy's allocation dominates.
+func BenchmarkMeanOverSmallWindow(b *testing.B) {
+	m := New()
+	for i := 0; i < 10000; i++ {
+		_ = m.Record("q", i, float64(i))
+	}
+	b.Run("reduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := m.MeanOver("q", 9900, 9999); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			samples := m.Query("q", 9900, 9999)
+			var sum float64
+			for _, s := range samples {
+				sum += s.Value
+			}
+			_ = sum / float64(len(samples))
+		}
+	})
+}

@@ -17,6 +17,8 @@ type AgentClient struct {
 	ra   int
 	conn net.Conn
 	br   *bufio.Reader
+
+	stats agentStats
 }
 
 // ErrShutdown is returned by RecvCoordination when the coordinator ends the
@@ -57,6 +59,7 @@ func (c *AgentClient) RecvCoordination(timeout time.Duration) (period int, z, y 
 		case MsgShutdown:
 			return 0, nil, nil, ErrShutdown
 		case MsgCoordination:
+			c.stats.coordsReceived.Add(1)
 			return m.Period, m.Z, m.Y, nil
 		default:
 			// Ignore unexpected frames and keep waiting.
@@ -75,10 +78,14 @@ func (c *AgentClient) ReportPerf(period int, perf []float64, queues []int) error
 // History (see IntervalRecord). intervals may be nil for the legacy
 // summary-only report.
 func (c *AgentClient) Report(period int, perf []float64, queues []int, intervals []IntervalRecord) error {
-	return writeMsg(c.conn, Envelope{
+	err := writeMsg(c.conn, Envelope{
 		Type: MsgPerfReport, RA: c.ra, Period: period, Perf: perf, Queues: queues,
 		Intervals: intervals,
 	})
+	if err == nil {
+		c.stats.reportsSent.Add(1)
+	}
+	return err
 }
 
 // Close closes the connection.

@@ -27,7 +27,10 @@ type Hub struct {
 	mu       sync.Mutex
 	conns    map[int]net.Conn      // registered RA -> connection
 	live     map[net.Conn]struct{} // every accepted conn, incl. pre-registration
+	seenRAs  map[int]bool          // RAs that registered at least once (reconnect detection)
 	shutdown bool                  // no new conns are tracked once set
+
+	stats hubStats
 
 	reports    chan Envelope
 	registered chan int
@@ -54,6 +57,7 @@ func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 		writeTimeout: defaultWriteTimeout,
 		conns:        make(map[int]net.Conn, numRAs),
 		live:         make(map[net.Conn]struct{}, numRAs),
+		seenRAs:      make(map[int]bool, numRAs),
 		reports:      make(chan Envelope, numRAs),
 		registered:   make(chan int, numRAs),
 		closed:       make(chan struct{}),
@@ -125,7 +129,13 @@ func (h *Hub) handleConn(conn net.Conn) {
 		return
 	}
 	h.conns[msg.RA] = conn
+	reconnect := h.seenRAs[msg.RA]
+	h.seenRAs[msg.RA] = true
 	h.mu.Unlock()
+	h.stats.registrations.Add(1)
+	if reconnect {
+		h.stats.reconnects.Add(1)
+	}
 	// Wake any WaitRegistered caller without ever blocking: when agents
 	// reconnect after WaitRegistered has already returned, the buffered
 	// channel fills with notifications nobody drains, and a blocking send
@@ -155,6 +165,7 @@ func (h *Hub) handleConn(conn net.Conn) {
 		if m.Type != MsgPerfReport {
 			continue // ignore unexpected frames
 		}
+		h.stats.reportsReceived.Add(1)
 		select {
 		case h.reports <- m:
 		case <-h.closed:
@@ -165,10 +176,14 @@ func (h *Hub) handleConn(conn net.Conn) {
 
 func (h *Hub) dropConn(ra int, conn net.Conn) {
 	h.mu.Lock()
-	if h.conns[ra] == conn {
+	dropped := h.conns[ra] == conn
+	if dropped {
 		delete(h.conns, ra)
 	}
 	h.mu.Unlock()
+	if dropped {
+		h.stats.connsDropped.Add(1)
+	}
 	_ = conn.Close()
 }
 
@@ -282,6 +297,7 @@ func (h *Hub) CollectReports(period int, timeout time.Duration) ([]Envelope, err
 		select {
 		case m := <-h.reports:
 			if m.Period != period || m.RA < 0 || m.RA >= h.numRAs || got[m.RA] {
+				h.stats.reportsDropped.Add(1)
 				continue
 			}
 			if len(m.Perf) != h.numSlices {

@@ -1,0 +1,87 @@
+package rcnet
+
+import (
+	"sync/atomic"
+
+	"edgeslice/internal/telemetry"
+)
+
+// hubStats are the hub's lifetime counters, updated lock-free on the
+// connection-handling paths.
+type hubStats struct {
+	registrations   atomic.Uint64 // successful agent registrations
+	reconnects      atomic.Uint64 // registrations of an RA seen before
+	reportsReceived atomic.Uint64 // perf-report frames read off connections
+	reportsDropped  atomic.Uint64 // reports discarded by Collect (wrong period/dup)
+	connsDropped    atomic.Uint64 // registered conns dropped (read error or stalled write)
+}
+
+// HubStats is a snapshot of the hub's lifetime counters.
+type HubStats struct {
+	Registrations   uint64 // successful agent registrations
+	Reconnects      uint64 // re-registrations of a previously seen RA
+	ReportsReceived uint64 // perf-report frames received
+	ReportsDropped  uint64 // reports discarded (wrong period or duplicate)
+	ConnsDropped    uint64 // registered connections dropped
+}
+
+// Stats returns a snapshot of the hub's counters.
+func (h *Hub) Stats() HubStats {
+	return HubStats{
+		Registrations:   h.stats.registrations.Load(),
+		Reconnects:      h.stats.reconnects.Load(),
+		ReportsReceived: h.stats.reportsReceived.Load(),
+		ReportsDropped:  h.stats.reportsDropped.Load(),
+		ConnsDropped:    h.stats.connsDropped.Load(),
+	}
+}
+
+// EnableTelemetry exports the hub's counters through a telemetry registry
+// (shared with the rest of the coordinator process).
+func (h *Hub) EnableTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("edgeslice_hub_registrations_total",
+		"successful agent registrations", h.stats.registrations.Load)
+	reg.CounterFunc("edgeslice_hub_reconnects_total",
+		"re-registrations of a previously seen RA", h.stats.reconnects.Load)
+	reg.CounterFunc("edgeslice_hub_reports_received_total",
+		"perf-report frames received from agents", h.stats.reportsReceived.Load)
+	reg.CounterFunc("edgeslice_hub_reports_dropped_total",
+		"reports discarded as wrong-period or duplicate", h.stats.reportsDropped.Load)
+	reg.CounterFunc("edgeslice_hub_conns_dropped_total",
+		"registered connections dropped (read error or stalled write)", h.stats.connsDropped.Load)
+	reg.GaugeFunc("edgeslice_hub_connected_agents",
+		"RAs currently registered", func() float64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return float64(len(h.conns))
+		})
+}
+
+// agentStats are the agent client's lifetime counters.
+type agentStats struct {
+	reportsSent    atomic.Uint64
+	coordsReceived atomic.Uint64
+}
+
+// AgentStats is a snapshot of an agent client's counters.
+type AgentStats struct {
+	ReportsSent    uint64 // perf reports written to the hub
+	CoordsReceived uint64 // coordination messages received
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *AgentClient) Stats() AgentStats {
+	return AgentStats{
+		ReportsSent:    c.stats.reportsSent.Load(),
+		CoordsReceived: c.stats.coordsReceived.Load(),
+	}
+}
+
+// EnableTelemetry exports the client's counters through a telemetry
+// registry (the agent daemon's /metrics surface).
+func (c *AgentClient) EnableTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("edgeslice_agent_reports_sent_total",
+		"perf reports sent to the hub", c.stats.reportsSent.Load)
+	reg.CounterFunc("edgeslice_agent_coordinations_received_total",
+		"coordination messages received from the hub", c.stats.coordsReceived.Load)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -60,6 +61,18 @@ type Options struct {
 	Monitor *monitor.Monitor
 	// Progress, when set, is called after each replica completes.
 	Progress func(completed, total int)
+	// StreamWindow, when positive, stitches each replica's periods into a
+	// streaming History (bounded memory) instead of an exact one. Summary
+	// numbers follow the streaming approximation contract: the steady-state
+	// SSP falls back to the full-run mean when the window is smaller than
+	// half the run.
+	StreamWindow int
+	// HistoryLogDir, when set, writes each replica's full interval/period
+	// record to "<dir>/<scenario>-<algorithm>-r<replica>.histlog" — an
+	// append-only CRC-checked log replayable via core.ReplayHistoryLogFile.
+	// Combined with StreamWindow this gives bounded-memory runs with
+	// lossless on-disk history.
+	HistoryLogDir string
 }
 
 func (o Options) normalized() Options {
@@ -366,7 +379,23 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 		managed[i] = id
 	}
 
-	h := core.NewHistory(len(spec.Slices), spec.NumRAs, spec.T)
+	I, J, T := len(spec.Slices), spec.NumRAs, spec.T
+	var h *core.History
+	if opts.StreamWindow > 0 {
+		h = core.NewStreamingHistory(I, J, T, opts.StreamWindow)
+	} else {
+		h = core.NewHistory(I, J, T)
+	}
+	var hlog *core.HistoryLog
+	if opts.HistoryLogDir != "" {
+		path := filepath.Join(opts.HistoryLogDir,
+			fmt.Sprintf("%s-%s-r%d.histlog", spec.Name, algoName, replica))
+		hlog, err = core.CreateHistoryLog(path, I, J, T)
+		if err != nil {
+			return ReplicaResult{}, nil, err
+		}
+		defer func() { _ = hlog.Close() }()
+	}
 	for p := 0; p < spec.Periods; p++ {
 		lo, hi := p*spec.T, (p+1)*spec.T
 		var due []Event
@@ -389,6 +418,16 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 			return ReplicaResult{}, nil, err
 		}
 		if err := h.Append(hp); err != nil {
+			return ReplicaResult{}, nil, err
+		}
+		if hlog != nil {
+			if err := hlog.AppendHistory(hp); err != nil {
+				return ReplicaResult{}, nil, err
+			}
+		}
+	}
+	if hlog != nil {
+		if err := hlog.Close(); err != nil {
 			return ReplicaResult{}, nil, err
 		}
 	}

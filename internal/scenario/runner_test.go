@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -308,6 +310,46 @@ func TestSystemConfigCompiles(t *testing.T) {
 		}
 		if len(cfg.EnvPerRA) != spec.NumRAs {
 			t.Errorf("%s: %d per-RA envs, want %d", name, len(cfg.EnvPerRA), spec.NumRAs)
+		}
+	}
+}
+
+// TestRunnerStreamingAndHistoryLog runs the same scenario in exact and
+// streaming mode: with a window covering the steady-state half the summary
+// is bit-identical, and the per-replica history logs replay into full
+// histories of the right shape.
+func TestRunnerStreamingAndHistoryLog(t *testing.T) {
+	spec := fastSpec() // 4 periods x T=10 = 40 intervals; half = 20
+	dir := t.TempDir()
+
+	exact, err := Run(spec, Options{Replicas: 2, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Run(spec, Options{
+		Replicas: 2, Parallel: 1,
+		StreamWindow:  32, // >= 20, so the steady-state tail mean stays exact
+		HistoryLogDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exact, streamed) {
+		t.Errorf("summary differs between exact and streaming mode:\n exact  %+v\n stream %+v", exact, streamed)
+	}
+
+	for r := 0; r < 2; r++ {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-r%d.histlog", spec.Name, spec.Algorithms[0], r))
+		h, truncated, err := core.ReplayHistoryLogFile(path)
+		if err != nil {
+			t.Fatalf("replay %s: %v", path, err)
+		}
+		if truncated {
+			t.Errorf("%s reported truncated", path)
+		}
+		if h.Intervals() != spec.Periods*spec.T || h.Periods() != spec.Periods {
+			t.Errorf("%s replayed %d intervals / %d periods, want %d / %d",
+				path, h.Intervals(), h.Periods(), spec.Periods*spec.T, spec.Periods)
 		}
 	}
 }

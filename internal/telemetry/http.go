@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live observability surface: /metrics (Prometheus text),
+// /healthz (JSON), and the net/http/pprof handlers under /debug/pprof/.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:9090", or ":0" to pick a
+// port) and serves the registry. health, when non-nil, is invoked per
+// /healthz request and its result rendered as JSON; when nil, /healthz
+// serves the registry snapshot.
+func StartServer(addr string, reg *Registry, health func() any) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: nil registry")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var payload any
+		if health != nil {
+			payload = health()
+		} else {
+			payload = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes the listener.
+func (s *Server) Close() error { return s.srv.Close() }

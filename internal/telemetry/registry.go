@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics with a Prometheus text-format
+// exposition (WritePrometheus) and a flat snapshot for JSON health
+// endpoints. Metric getters are idempotent: re-registering a name of the
+// same kind returns the existing instrument, so independent subsystems can
+// share one registry without coordination. Registering an existing name as
+// a different kind panics — that is a programming error, not runtime input.
+//
+// Metric names may carry a Prometheus label suffix (`name{key="v"}`); the
+// HELP/TYPE header is emitted once per base name.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	fams  map[string]*family
+}
+
+type family struct {
+	name, help, kind string // kind: counter | gauge | summary
+
+	counter   *Counter
+	gauge     *Gauge
+	counterFn func() uint64
+	gaugeFn   func() float64
+	series    *Series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, kind string) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.counter == nil && f.counterFn == nil {
+		f.counter = &Counter{}
+	}
+	if f.counter == nil {
+		panic(fmt.Sprintf("telemetry: metric %q is a counter func, not a counter", name))
+	}
+	return f.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collection time (for subsystems that keep their own atomics).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.register(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.counterFn = fn
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.gauge == nil && f.gaugeFn == nil {
+		f.gauge = &Gauge{}
+	}
+	if f.gauge == nil {
+		panic(fmt.Sprintf("telemetry: metric %q is a gauge func, not a gauge", name))
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at collection
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.gaugeFn = fn
+}
+
+// Series returns the streaming series registered under name, creating it
+// (with the given ring window and tracked quantiles) if needed. It is
+// exported as a Prometheus summary: quantile samples plus _sum and _count.
+func (r *Registry) Series(name, help string, window int, quantiles ...float64) *Series {
+	f := r.register(name, help, "summary")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.series == nil {
+		f.series = NewSeries(window, quantiles...)
+	}
+	return f.series
+}
+
+// baseName strips a `{label="v"}` suffix.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	fams := make([]*family, len(order))
+	for i, name := range order {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	headered := make(map[string]bool)
+	for _, f := range fams {
+		base := baseName(f.name)
+		if !headered[base] {
+			headered[base] = true
+			if f.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, f.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind); err != nil {
+				return err
+			}
+		}
+		switch f.kind {
+		case "counter":
+			v := uint64(0)
+			if f.counterFn != nil {
+				v = f.counterFn()
+			} else if f.counter != nil {
+				v = f.counter.Value()
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, v); err != nil {
+				return err
+			}
+		case "gauge":
+			v := 0.0
+			if f.gaugeFn != nil {
+				v = f.gaugeFn()
+			} else if f.gauge != nil {
+				v = f.gauge.Value()
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(v)); err != nil {
+				return err
+			}
+		case "summary":
+			s := f.series
+			for _, p := range s.Quantiles() {
+				v, _ := s.Quantile(p)
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", f.name, formatFloat(p), formatFloat(v)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(s.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", f.name, s.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a flat name→value view of the registry (counters and
+// gauges as-is; a series contributes _count, _mean, and its quantiles),
+// sorted by name — the payload health endpoints embed.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(fams))
+	for _, f := range fams {
+		switch f.kind {
+		case "counter":
+			if f.counterFn != nil {
+				out[f.name] = float64(f.counterFn())
+			} else if f.counter != nil {
+				out[f.name] = float64(f.counter.Value())
+			}
+		case "gauge":
+			if f.gaugeFn != nil {
+				out[f.name] = f.gaugeFn()
+			} else if f.gauge != nil {
+				out[f.name] = f.gauge.Value()
+			}
+		case "summary":
+			out[f.name+"_count"] = float64(f.series.Count())
+			out[f.name+"_mean"] = f.series.Mean()
+			for _, p := range f.series.Quantiles() {
+				v, _ := f.series.Quantile(p)
+				out[fmt.Sprintf("%s_q%s", f.name, formatFloat(p))] = v
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

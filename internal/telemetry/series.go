@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+)
+
+// DefaultWindow is the ring capacity used when a Series is created with a
+// non-positive window.
+const DefaultWindow = 1024
+
+// Series is a streaming metric: a fixed-capacity ring of the most recent
+// samples plus online summary state (count, running sum/mean, min, max and
+// optional P² quantile sketches) over the whole stream. Memory is
+// O(window + sketches), independent of how many samples are observed.
+//
+// The running sum accumulates in arrival order and the ring preserves
+// arrival order, so means computed from a Series are bit-identical to a
+// left-to-right sum over the same samples — the property core's streaming
+// History mode relies on to match the exact in-memory mode.
+//
+// Series is safe for concurrent use.
+type Series struct {
+	mu       sync.Mutex
+	count    uint64
+	sum      float64
+	min, max float64
+	ring     []float64
+	head     int // next write position
+	filled   bool
+	qs       []float64
+	sketches []*Quantile
+}
+
+// NewSeries creates a Series with the given ring capacity (non-positive
+// means DefaultWindow) tracking the given quantiles (each in (0, 1)).
+// Invalid quantiles are rejected by NewQuantile; NewSeries panics on them
+// because tracked quantiles are compile-time choices, not runtime input.
+func NewSeries(window int, quantiles ...float64) *Series {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	s := &Series{
+		ring: make([]float64, window),
+		min:  math.Inf(1),
+		max:  math.Inf(-1),
+	}
+	for _, p := range quantiles {
+		q, err := NewQuantile(p)
+		if err != nil {
+			panic(err)
+		}
+		s.qs = append(s.qs, p)
+		s.sketches = append(s.sketches, q)
+	}
+	return s
+}
+
+// Observe feeds one sample.
+func (s *Series) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.ring[s.head] = v
+	s.head++
+	if s.head == len(s.ring) {
+		s.head = 0
+		s.filled = true
+	}
+	for _, q := range s.sketches {
+		q.Observe(v)
+	}
+}
+
+// Count returns the number of samples observed.
+func (s *Series) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Sum returns the running sum over the whole stream.
+func (s *Series) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// Mean returns the mean over the whole stream (NaN when empty).
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the stream minimum (+Inf when empty).
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the stream maximum (-Inf when empty).
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Window returns the ring capacity.
+func (s *Series) Window() int { return len(s.ring) }
+
+// Retained returns how many samples the ring currently holds.
+func (s *Series) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retainedLocked()
+}
+
+func (s *Series) retainedLocked() int {
+	if s.filled {
+		return len(s.ring)
+	}
+	return s.head
+}
+
+// TailSum sums the most recent min(n, Retained()) samples in arrival order
+// (oldest of the tail first — the same order a slice suffix would sum in)
+// and reports how many samples contributed.
+func (s *Series) TailSum(n int) (sum float64, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retained := s.retainedLocked()
+	if n <= 0 || n > retained {
+		n = retained
+	}
+	start := s.head - n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < n; i++ {
+		idx := start + i
+		if idx >= len(s.ring) {
+			idx -= len(s.ring)
+		}
+		sum += s.ring[idx]
+	}
+	return sum, n
+}
+
+// TailMean returns the mean over the most recent min(n, Retained())
+// samples and how many contributed (NaN, 0 when empty).
+func (s *Series) TailMean(n int) (float64, int) {
+	sum, m := s.TailSum(n)
+	if m == 0 {
+		return math.NaN(), 0
+	}
+	return sum / float64(m), m
+}
+
+// Quantiles returns the tracked quantile probabilities.
+func (s *Series) Quantiles() []float64 {
+	return append([]float64(nil), s.qs...)
+}
+
+// Quantile returns the streaming estimate for a tracked quantile; ok is
+// false when p is not tracked.
+func (s *Series) Quantile(p float64) (v float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.qs {
+		if q == p {
+			return s.sketches[i].Value(), true
+		}
+	}
+	return math.NaN(), false
+}
