@@ -27,7 +27,9 @@
 // -engine legacy for the perf-grid-only driver (rcnet.RunCoordinator),
 // e.g. when coordinating pre-engine agent builds whose reports carry no
 // interval records, or topologies the daemon's environment presets don't
-// cover.
+// cover. (The in-process engines — serial, parallel, and the batched
+// cross-RA inference engine — are edgeslice-sim's -engine domain: here
+// every RA is its own process, so there is no local action path to batch.)
 //
 // The -agent file may be either a full-fidelity checkpoint written by
 // edgeslice-train (format edgeslice-checkpoint-v2) or a legacy v1 actor

@@ -85,14 +85,17 @@ type Agent = rl.Agent
 // collect Σ_t U and run the ADMM update) behind interchangeable
 // implementations — serial in-process stepping, parallel per-RA stepping
 // on a persistent worker pool (bit-identical to serial for any worker
-// count), or remote agents over the RC network interface (recording the
-// same History, monitor series, SLA flags, and residuals as local runs).
+// count), batched cross-RA inference (one wide forward pass per policy
+// group per interval, bit-identical to serial), or remote agents over the
+// RC network interface (recording the same History, monitor series, SLA
+// flags, and residuals as local runs).
 type Executor = core.Executor
 
 // Engine spellings for NewExecutor and the -engine CLI flags.
 const (
 	EngineSerial   = core.EngineSerial
 	EngineParallel = core.EngineParallel
+	EngineBatched  = core.EngineBatched
 	EngineRemote   = core.EngineRemote
 )
 
@@ -263,9 +266,9 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return core.LoadCheckpoi
 // cache, the backing of the scenario runner's warm-start mode.
 func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.OpenStore(dir) }
 
-// NewExecutor resolves an in-process engine spelling: "serial" (or empty)
-// or "parallel" (workers ≤ 0 defaults to GOMAXPROCS). Run periods with
-// System.RunPeriodsWith and Close the executor when done.
+// NewExecutor resolves an in-process engine spelling: "serial" (or empty),
+// "parallel", or "batched" (workers ≤ 0 defaults to GOMAXPROCS). Run
+// periods with System.RunPeriodsWith and Close the executor when done.
 func NewExecutor(engine string, workers int) (Executor, error) {
 	return core.NewExecutor(engine, workers)
 }
@@ -278,6 +281,12 @@ func NewSerialExecutor() Executor { return core.NewSerialExecutor() }
 // per-RA worker pool stepping all RAs concurrently each period, with
 // results bit-identical to the serial engine for any worker count.
 func NewParallelExecutor(workers int) Executor { return core.NewParallelExecutor(workers) }
+
+// NewBatchedExecutor returns the batched in-process engine: every interval
+// it gathers all RA observations and runs one wide forward pass per policy
+// group (workers shard the matmul), with results bit-identical to the
+// serial engine for any worker count.
+func NewBatchedExecutor(workers int) Executor { return core.NewBatchedExecutor(workers) }
 
 // NewRemoteExecutor returns the distributed engine: the step phase runs in
 // remote agent processes connected to the hub, and their per-interval

@@ -2,13 +2,14 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"edgeslice/internal/monitor"
 	"edgeslice/internal/netsim"
-	"edgeslice/internal/rl/ddpg"
+	"edgeslice/internal/nn"
+	"edgeslice/internal/rl"
 	"edgeslice/internal/telemetry"
 )
 
@@ -44,22 +45,27 @@ type Executor interface {
 const (
 	EngineSerial   = "serial"
 	EngineParallel = "parallel"
+	EngineBatched  = "batched"
 	EngineRemote   = "remote"
 )
 
-// NewExecutor resolves an in-process engine spelling: "serial" (or empty)
-// and "parallel" (workers ≤ 0 defaults to GOMAXPROCS). The remote engine
-// needs a live hub and timeout; construct it with NewRemoteExecutor.
+// NewExecutor resolves an in-process engine spelling: "serial" (or empty),
+// "parallel" (workers ≤ 0 defaults to GOMAXPROCS), and "batched" (one wide
+// forward pass per policy group per interval; workers shard the matmul).
+// The remote engine needs a live hub and timeout; construct it with
+// NewRemoteExecutor.
 func NewExecutor(engine string, workers int) (Executor, error) {
 	switch engine {
 	case "", EngineSerial:
 		return NewSerialExecutor(), nil
 	case EngineParallel:
 		return NewParallelExecutor(workers), nil
+	case EngineBatched:
+		return NewBatchedExecutor(workers), nil
 	case EngineRemote:
 		return nil, fmt.Errorf("core: the remote engine wraps a live hub; construct it with NewRemoteExecutor")
 	default:
-		return nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", engine, EngineSerial, EngineParallel)
+		return nil, fmt.Errorf("core: unknown engine %q (want %q, %q or %q)", engine, EngineSerial, EngineParallel, EngineBatched)
 	}
 }
 
@@ -177,8 +183,8 @@ func (s *System) mergeIntervals(h *History, base int, recs [][]raInterval) error
 				for k := 0; k < netsim.NumResources; k++ {
 					usage[i][k] += rec.eff[i][k]
 				}
-				s.recordMon(monitor.MetricName("perf", j, i), interval, rec.perf[i])
-				s.recordMon(monitor.MetricName("queue", j, i), interval, float64(rec.queues[i]))
+				s.recordMon(s.monMetricName(monPerf, j, i), interval, rec.perf[i])
+				s.recordMon(s.monMetricName(monQueue, j, i), interval, float64(rec.queues[i]))
 			}
 		}
 		divideUsage(usage, J)
@@ -269,10 +275,11 @@ func (serialExecutor) RunPeriods(s *System, n int) (*History, error) {
 // merged in deterministic RA order afterwards, making the output
 // bit-identical to the serial engine for any worker count.
 //
-// Policy inference is race-free: DDPG agents act through a clone pool
-// (each worker borrows a private actor clone, lock-free), policies loaded
-// with LoadAgent are already safe, and unknown agent implementations are
-// serialized behind a shared mutex. All supported policies are
+// Policy inference is race-free: batch-capable agents (every built-in
+// trainer and LoadAgent's policies) run lock-free single-row batched
+// forwards out of per-RA workspaces — weights are only read — and agent
+// implementations without a batched path are serialized behind a
+// per-instance mutex (see concurrentActionFns). All supported policies are
 // deterministic forward passes, so wrapping never changes an action.
 //
 // A ParallelExecutor is intended to drive one run at a time; concurrent
@@ -291,11 +298,11 @@ type ParallelExecutor struct {
 	jobs   chan func()
 	closed bool
 
-	// Cached action closures (and their DDPG clone pools), keyed on the
-	// system and its agent generation: period-at-a-time driving (the
-	// scenario runner calls RunPeriods(1) per period) must not re-clone
-	// actor networks every call. Accessed only from RunPeriods, which is
-	// single-driver by contract.
+	// Cached action closures (and their per-RA inference workspaces), keyed
+	// on the system and its agent generation: period-at-a-time driving (the
+	// scenario runner calls RunPeriods(1) per period) must not rebuild them
+	// every call. Accessed only from RunPeriods, which is single-driver by
+	// contract.
 	cacheSys  *System
 	cacheGen  int
 	cacheActs []func() ([]float64, error)
@@ -452,11 +459,15 @@ func stepRA(env *netsim.RAEnv, T, base, ra int, act func() ([]float64, error)) (
 // concurrentActionFns returns one action closure per RA, safe to call from
 // concurrent per-RA workers. Baseline policies read only their own RA's
 // environment. Learning agents are wrapped for race-free inference:
-// *ddpg.Agent acts through a clone pool keyed per distinct instance
-// (lock-free; Act ≡ actor.Forward1, so clones act bit-identically),
-// LoadAgent's policies are already safe, and any other implementation is
-// serialized behind one shared mutex (correct for deterministic Act, which
-// every supported algorithm provides).
+// batch-capable agents (every built-in trainer, pooled and locked loaded
+// policies) run a lock-free single-row ActBatch out of a per-RA workspace —
+// weights are only read, scratch is private — so no clone pool and no
+// serialization is needed, and rows are bit-identical to Act. Agents
+// without a batched path fall back to scalar Act behind a per-instance
+// mutex, so one slow or unknown agent serializes only the RAs that actually
+// share that instance, not the whole system; agents whose dynamic type is
+// not comparable (e.g. rl.AgentFunc) cannot be keyed by instance and share
+// one mutex, since aliasing is undetectable for them.
 func (s *System) concurrentActionFns() []func() ([]float64, error) {
 	J := s.cfg.NumRAs
 	out := make([]func() ([]float64, error), J)
@@ -467,30 +478,36 @@ func (s *System) concurrentActionFns() []func() ([]float64, error) {
 		}
 		return out
 	}
-	pools := make(map[*ddpg.Agent]*pooledPolicy, 1)
-	var unknownMu sync.Mutex // shared: unknown agents may alias one instance
+	fallbackMus := make(map[rl.Agent]*sync.Mutex, 1)
+	var uncomparableMu sync.Mutex
 	for j := 0; j < J; j++ {
 		env := s.envs[j]
-		var agentAct func([]float64) []float64
-		switch a := s.agents[j].(type) {
-		case *ddpg.Agent:
-			pool, ok := pools[a]
-			if !ok {
-				pool = newPooledPolicy(a.Actor())
-				pools[a] = pool
+		agent := s.agents[j]
+		if ba := rl.AsBatchActor(agent); ba != nil {
+			var ws nn.Workspace
+			dim := env.StateDim()
+			out[j] = func() ([]float64, error) {
+				ws.Reset()
+				in := ws.Next(1, dim)
+				in.Data = env.StateInto(in.Data[:0])
+				return ba.ActBatch(in, &ws).Row(0), nil
 			}
-			agentAct = pool.Act
-		case *pooledPolicy, *lockedAgent:
-			agentAct = s.agents[j].Act
-		default:
-			raw := s.agents[j]
-			agentAct = func(state []float64) []float64 {
-				unknownMu.Lock()
-				defer unknownMu.Unlock()
-				return raw.Act(state)
-			}
+			continue
 		}
-		out[j] = func() ([]float64, error) { return agentAct(env.State()), nil }
+		var mu *sync.Mutex
+		if reflect.TypeOf(agent).Comparable() {
+			if mu = fallbackMus[agent]; mu == nil {
+				mu = new(sync.Mutex)
+				fallbackMus[agent] = mu
+			}
+		} else {
+			mu = &uncomparableMu
+		}
+		out[j] = func() ([]float64, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return agent.Act(env.State()), nil
+		}
 	}
 	return out
 }

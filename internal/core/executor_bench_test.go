@@ -11,11 +11,11 @@ import (
 
 // BenchmarkRunPeriods measures one Algorithm-1 period across RA counts and
 // engines. The deployed policy is a paper-scale 2x128 actor so inference
-// dominates the interval cost — the workload the parallel engine exists
-// for. The serial/parallel ratio at each RA count is the inference-scaling
-// number reported in DESIGN.md §2.
+// dominates the interval cost — the workload the parallel and batched
+// engines exist for. The engine ratios at each RA count are the
+// inference-scaling numbers reported in DESIGN.md.
 func BenchmarkRunPeriods(b *testing.B) {
-	for _, ras := range []int{8, 32, 128} {
+	for _, ras := range []int{8, 32, 128, 512, 2048} {
 		cfg := DefaultConfig()
 		cfg.Algo = AlgoEdgeSlice
 		cfg.NumRAs = ras
@@ -32,7 +32,7 @@ func BenchmarkRunPeriods(b *testing.B) {
 		if err := s.SetAgents([]rl.Agent{newPooledPolicy(actor)}); err != nil {
 			b.Fatal(err)
 		}
-		for _, engine := range []string{EngineSerial, EngineParallel} {
+		for _, engine := range []string{EngineSerial, EngineParallel, EngineBatched} {
 			exec, err := NewExecutor(engine, 0)
 			if err != nil {
 				b.Fatal(err)

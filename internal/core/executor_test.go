@@ -75,6 +75,7 @@ func TestNewExecutorSpellings(t *testing.T) {
 		{"", EngineSerial},
 		{EngineSerial, EngineSerial},
 		{EngineParallel, EngineParallel},
+		{EngineBatched, EngineBatched},
 	} {
 		e, err := NewExecutor(tc.engine, 2)
 		if err != nil {

@@ -122,6 +122,14 @@ func (p *pooledPolicy) Act(state []float64) []float64 {
 	return out
 }
 
+// ActBatch implements rl.BatchActor directly on the prototype network: the
+// batched forward only reads weights and draws all scratch from ws, so no
+// clone is borrowed and concurrent calls with distinct workspaces are safe.
+// Rows are bit-identical to Act (clones share the prototype's weights).
+func (p *pooledPolicy) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	return p.proto.ForwardBatch(states, ws)
+}
+
 // lockedAgent serializes Act calls to an agent whose forward pass reuses
 // internal scratch buffers.
 type lockedAgent struct {
@@ -134,6 +142,15 @@ func (l *lockedAgent) Act(state []float64) []float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.agent.Act(state)
+}
+
+// UnwrapBatchActor implements rl.BatchActorUnwrapper: the lock exists only
+// because the wrapped agent's scalar Act reuses internal scratch; its
+// ActBatch works out of the caller's workspace and reads nothing mutable,
+// so batched inference needs no serialization.
+func (l *lockedAgent) UnwrapBatchActor() rl.BatchActor {
+	ba, _ := l.agent.(rl.BatchActor)
+	return ba
 }
 
 // SaveCheckpoint writes the system's trained agents as a full-fidelity v2

@@ -194,9 +194,35 @@ func (s *System) EnableTelemetry(reg *telemetry.Registry) {
 		})
 }
 
+// Monitor metric kinds recorded per RA/slice/interval.
+const (
+	monPerf = iota
+	monQueue
+	numMonKinds
+)
+
+// monMetricName returns the cached monitor metric name for (kind, ra,
+// slice), building the cache entry on first use. Single-goroutine use only
+// (the RunPeriods driver), like the rest of the recording funnel.
+func (s *System) monMetricName(kind, ra, slice int) string {
+	I := s.cfg.EnvTemplate.NumSlices
+	if s.monNames == nil {
+		s.monNames = make([]string, s.cfg.NumRAs*I*numMonKinds)
+	}
+	idx := (ra*I+slice)*numMonKinds + kind
+	if s.monNames[idx] == "" {
+		k := "perf"
+		if kind == monQueue {
+			k = "queue"
+		}
+		s.monNames[idx] = monitor.MetricName(k, ra, slice)
+	}
+	return s.monNames[idx]
+}
+
 // recordInterval writes one RA/slice interval outcome into the system
-// monitor (the serial executor's per-step hook).
+// monitor (the serial and batched executors' per-step hook).
 func (s *System) recordInterval(ra, slice, interval int, res netsim.StepResult) {
-	s.recordMon(monitor.MetricName("perf", ra, slice), interval, res.Perf[slice])
-	s.recordMon(monitor.MetricName("queue", ra, slice), interval, float64(res.QueueLens[slice]))
+	s.recordMon(s.monMetricName(monPerf, ra, slice), interval, res.Perf[slice])
+	s.recordMon(s.monMetricName(monQueue, ra, slice), interval, float64(res.QueueLens[slice]))
 }

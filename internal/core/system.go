@@ -181,6 +181,12 @@ type System struct {
 	// stats holds the live run telemetry behind Health/EnableTelemetry.
 	rec   RecordOptions
 	stats runStats
+
+	// monNames caches monitor metric names, indexed (ra·I+slice)·2+kind —
+	// formatting them per sample is four Sprintfs per RA-interval, which is
+	// measurable at hundreds of RAs. Built lazily by monMetricName; only
+	// touched from the single RunPeriods driver goroutine.
+	monNames []string
 }
 
 // NewSystem builds the system (agents untrained; call Train before

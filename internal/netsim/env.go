@@ -259,7 +259,15 @@ func (e *RAEnv) SetCoordination(z, y []float64) error {
 
 // State returns the current observation (Eq. 13).
 func (e *RAEnv) State() []float64 {
-	out := make([]float64, 0, e.StateDim())
+	return e.StateInto(make([]float64, 0, e.StateDim()))
+}
+
+// StateInto appends the observation (Eq. 13) to dst and returns it,
+// allocating only when dst lacks capacity. The batched action path uses it
+// to gather every RA's state into one matrix row without per-RA garbage;
+// values are identical to State.
+func (e *RAEnv) StateInto(dst []float64) []float64 {
+	out := dst
 	if e.cfg.ObserveQueue {
 		for i := range e.queues {
 			out = append(out, float64(e.queues[i].Len())/e.cfg.QueueNorm)

@@ -70,6 +70,28 @@ func (d *Dense) Forward(x *Matrix) *Matrix {
 	return y
 }
 
+// forwardInfer computes act(x·Wᵀ + b) for a batch x of shape (N×In) using
+// only the caller-supplied workspace: the layer's weights are read but its
+// training caches (in/pre/out) are untouched, so concurrent calls with
+// distinct workspaces are safe and Backward state is preserved. The bias add
+// and activation are fused into one pass over the output. Values are
+// bit-identical to Forward: each element is act((Σ_k x·w) + b) with the same
+// operation order.
+func (d *Dense) forwardInfer(x *Matrix, ws *Workspace) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", x.Cols, d.In))
+	}
+	z := ws.Next(x.Rows, d.Out)
+	MatMulNTIntoWS(z, x, d.W, ws)
+	for i := 0; i < z.Rows; i++ {
+		row := z.Row(i)
+		for j, b := range d.B {
+			row[j] = d.Act.Apply(row[j] + b)
+		}
+	}
+	return z
+}
+
 // Backward accumulates parameter gradients given dL/dy of shape (N×Out) and
 // returns dL/dx of shape (N×In). Forward must have been called first. The
 // returned matrix is owned by the layer and is overwritten by the next

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package nn
+
+// useAVX reports whether the vectorized batched matmul kernel may run: the
+// CPU must support AVX and the OS must preserve ymm state across context
+// switches (OSXSAVE set and XCR0 enabling xmm+ymm). The kernel is
+// bit-identical to the scalar path, so this is purely a speed switch.
+var useAVX = func() bool {
+	_, _, ecx, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6
+}()
+
+// matmulTile48AVX computes a 4-row × 8-column output tile from a packed A
+// panel; see matmul_amd64.s for the layout and bit-identity contract.
+//
+//go:noescape
+func matmulTile48AVX(c *float64, cStride int, aPack *float64, b *float64, k int)
+
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)

@@ -1,0 +1,184 @@
+#include "textflag.h"
+
+// func matmulTile48AVX(c *float64, cStride int, aPack *float64, b *float64, k int)
+//
+// Computes the 4×8 output tile c[0:4][0:8] = Apanel · B[0:8]ᵀ. aPack holds
+// the four A rows column-interleaved (k quads of {a0[kk],a1[kk],a2[kk],
+// a3[kk]}); b points at eight consecutive length-k rows of B; c points at
+// the tile's top-left element inside a row-major matrix with cStride
+// elements per row.
+//
+// Bit-identity contract: each output element accumulates its dot product
+// sequentially in increasing k with exactly one IEEE double mul and one add
+// per step — the same operation sequence as the scalar kernel. The
+// vectorization is across independent elements only: the four A rows ride
+// in the four ymm lanes and the eight B rows each own an accumulator
+// register (Y0–Y7), so no element's sum is ever reordered or split.
+TEXT ·matmulTile48AVX(SB), NOSPLIT, $32-40
+	MOVQ c+0(FP), DI
+	MOVQ aPack+16(FP), SI
+	MOVQ b+24(FP), R8
+	MOVQ k+32(FP), AX
+
+	// B row pointers: eight rows spaced k*8 bytes apart.
+	MOVQ AX, DX
+	SHLQ $3, DX
+	LEAQ (R8)(DX*1), R9
+	LEAQ (R9)(DX*1), R10
+	LEAQ (R10)(DX*1), R11
+	LEAQ (R11)(DX*1), R12
+	LEAQ (R12)(DX*1), R13
+	LEAQ (R13)(DX*1), R14
+	LEAQ (R14)(DX*1), BX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ CX, CX
+
+loop:
+	VMOVUPD (SI), Y8
+	ADDQ $32, SI
+	VBROADCASTSD (R8)(CX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y0, Y0
+	VBROADCASTSD (R9)(CX*8), Y10
+	VMULPD Y8, Y10, Y10
+	VADDPD Y10, Y1, Y1
+	VBROADCASTSD (R10)(CX*8), Y11
+	VMULPD Y8, Y11, Y11
+	VADDPD Y11, Y2, Y2
+	VBROADCASTSD (R11)(CX*8), Y12
+	VMULPD Y8, Y12, Y12
+	VADDPD Y12, Y3, Y3
+	VBROADCASTSD (R12)(CX*8), Y9
+	VMULPD Y8, Y9, Y9
+	VADDPD Y9, Y4, Y4
+	VBROADCASTSD (R13)(CX*8), Y10
+	VMULPD Y8, Y10, Y10
+	VADDPD Y10, Y5, Y5
+	VBROADCASTSD (R14)(CX*8), Y11
+	VMULPD Y8, Y11, Y11
+	VADDPD Y11, Y6, Y6
+	VBROADCASTSD (BX)(CX*8), Y12
+	VMULPD Y8, Y12, Y12
+	VADDPD Y12, Y7, Y7
+	INCQ CX
+	CMPQ CX, AX
+	JLT  loop
+
+	// Scatter: lane l of accumulator Yt is c[l][t]. Spill each ymm to the
+	// frame and store the four lanes to their strided rows.
+	MOVQ cStride+8(FP), DX
+	SHLQ $3, DX
+	MOVQ DI, R8
+	LEAQ (R8)(DX*1), R9
+	LEAQ (R9)(DX*1), R10
+	LEAQ (R10)(DX*1), R11
+
+	VMOVUPD Y0, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, (R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, (R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, (R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, (R11)
+
+	VMOVUPD Y1, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 8(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 8(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 8(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 8(R11)
+
+	VMOVUPD Y2, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 16(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 16(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 16(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 16(R11)
+
+	VMOVUPD Y3, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 24(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 24(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 24(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 24(R11)
+
+	VMOVUPD Y4, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 32(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 32(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 32(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 32(R11)
+
+	VMOVUPD Y5, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 40(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 40(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 40(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 40(R11)
+
+	VMOVUPD Y6, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 48(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 48(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 48(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 48(R11)
+
+	VMOVUPD Y7, tmp-32(SP)
+	MOVQ    tmp-32(SP), AX
+	MOVQ    AX, 56(R8)
+	MOVQ    tmp-24(SP), AX
+	MOVQ    AX, 56(R9)
+	MOVQ    tmp-16(SP), AX
+	MOVQ    AX, 56(R10)
+	MOVQ    tmp-8(SP), AX
+	MOVQ    AX, 56(R11)
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package nn
+
+// useAVX is constant false off amd64, dead-coding the vectorized path so
+// the stub below can never be reached.
+const useAVX = false
+
+func matmulTile48AVX(c *float64, cStride int, aPack *float64, b *float64, k int) {
+	panic("nn: vectorized matmul kernel is amd64-only")
+}

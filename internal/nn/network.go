@@ -10,7 +10,7 @@ import (
 type Network struct {
 	Layers []*Dense
 
-	in1    *Matrix     // Forward1 input scratch
+	ws1    Workspace   // Forward1 scratch arena
 	params []ParamGrad // cached Params() result; nil until first use
 }
 
@@ -52,13 +52,43 @@ func (n *Network) Forward(x *Matrix) *Matrix {
 	return y
 }
 
-// Forward1 runs a single input vector and returns a freshly allocated
-// output vector.
-func (n *Network) Forward1(x []float64) []float64 {
-	in := ensureMat(&n.in1, 1, len(x))
+// ForwardBatch runs a batch (N×InputDim) through the network for inference,
+// drawing every intermediate from the caller-supplied workspace. Unlike
+// Forward it touches no layer caches: weights are only read, so concurrent
+// ForwardBatch calls on one network are safe as long as each caller uses its
+// own Workspace (and no training runs concurrently). Row i of the result is
+// bit-identical to Forward1(x row i) — see MatMulNTInto for why batching
+// preserves bits. The returned matrix belongs to ws and is valid until the
+// next draw after a ws.Reset; the input is not retained. Once ws has seen
+// the shapes, calls allocate nothing. Backward must not follow ForwardBatch:
+// no intermediates are cached.
+func (n *Network) ForwardBatch(x *Matrix, ws *Workspace) *Matrix {
+	y := x
+	for _, l := range n.Layers {
+		y = l.forwardInfer(y, ws)
+	}
+	return y
+}
+
+// Forward1WS runs a single input vector through the network using only the
+// caller-supplied workspace and returns a workspace-backed output slice
+// (valid until ws is Reset and redrawn). The caller is responsible for
+// resetting ws between steps; warm calls allocate nothing. Results are
+// bit-identical to Forward1.
+func (n *Network) Forward1WS(x []float64, ws *Workspace) []float64 {
+	in := ws.Next(1, len(x))
 	copy(in.Data, x)
-	out := n.Forward(in)
-	return append([]float64(nil), out.Row(0)...)
+	return n.ForwardBatch(in, ws).Row(0)
+}
+
+// Forward1 runs a single input vector and returns a freshly allocated
+// output vector. It routes through the inference path (Forward1WS) on a
+// network-owned workspace, so layer training caches are left untouched; the
+// single warm allocation is the returned copy — hot paths that can tolerate
+// workspace-backed results should call Forward1WS directly.
+func (n *Network) Forward1(x []float64) []float64 {
+	n.ws1.Reset()
+	return append([]float64(nil), n.Forward1WS(x, &n.ws1)...)
 }
 
 // Backward backpropagates dL/dy through the network, accumulating parameter

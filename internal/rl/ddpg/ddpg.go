@@ -129,6 +129,12 @@ func (a *Agent) Act(state []float64) []float64 {
 	return a.actor.Forward1(state)
 }
 
+// ActBatch implements rl.BatchActor: one wide actor forward evaluates every
+// row of states, bit-identical per row to Act.
+func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	return a.actor.ForwardBatch(states, ws)
+}
+
 // ActExplore returns the exploration action: uniform-random during warmup
 // (so the replay buffer sees the whole action box, including the jointly
 // positive allocations a corner-saturated policy would never visit), then

@@ -83,6 +83,20 @@ func (p *GaussianPolicy) MeanAction(state []float64) []float64 {
 	return p.Mean.Forward1(state)
 }
 
+// MeanActionWS is MeanAction routed through a caller-supplied workspace: the
+// returned slice is workspace-backed (valid until ws is Reset and redrawn)
+// and warm calls allocate nothing. Values are bit-identical to MeanAction.
+func (p *GaussianPolicy) MeanActionWS(state []float64, ws *nn.Workspace) []float64 {
+	return p.Mean.Forward1WS(state, ws)
+}
+
+// MeanBatch evaluates the deterministic mean action for every row of states
+// in one wide forward pass; see nn.(*Network).ForwardBatch for the aliasing
+// and bit-identity contract.
+func (p *GaussianPolicy) MeanBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	return p.Mean.ForwardBatch(states, ws)
+}
+
 // LogProb returns log π(a|s) under the (unclamped) Gaussian.
 func (p *GaussianPolicy) LogProb(state, action []float64) float64 {
 	mean := p.Mean.Forward1(state)

@@ -134,6 +134,22 @@ func (a *Agent) Act(state []float64) []float64 {
 	return out
 }
 
+// ActBatch implements rl.BatchActor: one wide head forward, then the
+// deterministic squashed mean per row — bit-identical per row to Act (the
+// log-std half of the head is ignored, as Act ignores it).
+func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	head := a.actor.ForwardBatch(states, ws)
+	out := ws.Next(states.Rows, a.actionDim)
+	for r := 0; r < head.Rows; r++ {
+		h := head.Row(r)
+		o := out.Row(r)
+		for i := range o {
+			o[i] = squash(h[i])
+		}
+	}
+	return out
+}
+
 // sampleAction draws a reparameterized action; it returns the action, the
 // pre-squash values u, the noise eps, and log π(a|s).
 func (a *Agent) sampleAction(state []float64) (action, u, eps []float64, logP float64) {

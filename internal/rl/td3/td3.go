@@ -126,6 +126,12 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 // Act implements rl.Agent.
 func (a *Agent) Act(state []float64) []float64 { return a.actor.Forward1(state) }
 
+// ActBatch implements rl.BatchActor: one wide actor forward evaluates every
+// row of states, bit-identical per row to Act.
+func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	return a.actor.ForwardBatch(states, ws)
+}
+
 // ActExplore returns an exploration action (uniform during warmup).
 func (a *Agent) ActExplore(state []float64) []float64 {
 	if a.replay.Len() < a.cfg.WarmupSteps {

@@ -74,6 +74,12 @@ func New(stateDim, actionDim int, cfg Config) (*Agent, error) {
 // Act implements rl.Agent with the deterministic mean action.
 func (a *Agent) Act(state []float64) []float64 { return a.policy.MeanAction(state) }
 
+// ActBatch implements rl.BatchActor: one wide mean-network forward evaluates
+// every row of states, bit-identical per row to Act.
+func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
+	return a.policy.MeanBatch(states, ws)
+}
+
 // Train runs approximately `steps` environment steps, performing one policy
 // update per collected horizon.
 func (a *Agent) Train(env rl.Env, steps int) error {

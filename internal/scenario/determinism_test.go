@@ -34,8 +34,9 @@ func shrunk(t *testing.T, name string) Spec {
 
 // TestEngineDeterminismAcrossWorkers is the scenario half of the
 // determinism suite: for built-in scenarios, a replica's full History under
-// the parallel engine (workers ∈ {1, 4, NumRAs}) must be bit-identical to
-// the serial engine's, and the aggregated summaries must match too.
+// the parallel and batched engines (workers ∈ {1, 4, NumRAs}) must be
+// bit-identical to the serial engine's, and the aggregated summaries must
+// match too.
 func TestEngineDeterminismAcrossWorkers(t *testing.T) {
 	for _, name := range []string{"flash-crowd", "heterogeneous-mix"} {
 		name := name
@@ -48,14 +49,16 @@ func TestEngineDeterminismAcrossWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, workers := range []int{1, 4, spec.NumRAs} {
-				_, hPar, err := runReplica(spec, algo, 0, nil, &trainings,
-					Options{Engine: EngineParallel, Workers: workers})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(hSerial, hPar) {
-					t.Errorf("%s: history under parallel(workers=%d) differs from serial", name, workers)
+			for _, engine := range []string{EngineParallel, EngineBatched} {
+				for _, workers := range []int{1, 4, spec.NumRAs} {
+					_, hGot, err := runReplica(spec, algo, 0, nil, &trainings,
+						Options{Engine: engine, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(hSerial, hGot) {
+						t.Errorf("%s: history under %s(workers=%d) differs from serial", name, engine, workers)
+					}
 				}
 			}
 
@@ -63,16 +66,18 @@ func TestEngineDeterminismAcrossWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, workers := range []int{1, 4, spec.NumRAs} {
-				parSum, err := Run(spec, Options{
-					Replicas: 2, Parallel: 2, Engine: EngineParallel, Workers: workers,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(serialSum, parSum) {
-					t.Errorf("%s: summary under parallel(workers=%d) differs from serial:\n serial  %+v\n parallel %+v",
-						name, workers, serialSum, parSum)
+			for _, engine := range []string{EngineParallel, EngineBatched} {
+				for _, workers := range []int{1, 4, spec.NumRAs} {
+					gotSum, err := Run(spec, Options{
+						Replicas: 2, Parallel: 2, Engine: engine, Workers: workers,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(serialSum, gotSum) {
+						t.Errorf("%s: summary under %s(workers=%d) differs from serial:\n serial %+v\n %s %+v",
+							name, engine, workers, serialSum, engine, gotSum)
+					}
 				}
 			}
 		})
@@ -81,8 +86,8 @@ func TestEngineDeterminismAcrossWorkers(t *testing.T) {
 
 // TestEngineDeterminismLearning runs the determinism check on a learning
 // algorithm with a tiny training budget (warm-started so the agent trains
-// once), proving clone-pool inference acts bit-identically to the shared
-// serial agent.
+// once), proving the parallel and batched inference paths act
+// bit-identically to the shared serial agent.
 func TestEngineDeterminismLearning(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a small DDPG agent")
@@ -95,14 +100,16 @@ func TestEngineDeterminismLearning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(spec, Options{
-		Replicas: 2, Parallel: 2, Engine: EngineParallel, Workers: spec.NumRAs, WarmStart: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Errorf("learning summary differs across engines:\n serial  %+v\n parallel %+v", serial, parallel)
+	for _, engine := range []string{EngineParallel, EngineBatched} {
+		got, err := Run(spec, Options{
+			Replicas: 2, Parallel: 2, Engine: engine, Workers: spec.NumRAs, WarmStart: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("learning summary differs across engines:\n serial %+v\n %s %+v", serial, engine, got)
+		}
 	}
 }
 

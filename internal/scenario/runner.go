@@ -20,6 +20,7 @@ import (
 const (
 	EngineSerial   = core.EngineSerial
 	EngineParallel = core.EngineParallel
+	EngineBatched  = core.EngineBatched
 )
 
 // Options configures a scenario run.
@@ -47,14 +48,15 @@ type Options struct {
 	// training entirely.
 	CheckpointDir string
 	// Engine selects the execution engine each replica's periods run
-	// under: "serial" (default) or "parallel" (a persistent per-RA worker
-	// pool inside every replica). Engines are bit-identical: the summary
+	// under: "serial" (default), "parallel" (a persistent per-RA worker
+	// pool inside every replica), or "batched" (one wide forward pass per
+	// policy group per interval). Engines are bit-identical: the summary
 	// is the same for any engine and worker count.
 	Engine string
 	// Workers bounds the per-replica worker pool of the parallel engine
-	// (default: the scenario's RA count). It composes with Parallel —
-	// replicas fan out across the replica pool, RAs fan out inside each
-	// replica.
+	// and the matmul shard count of the batched engine (default: the
+	// scenario's RA count). It composes with Parallel — replicas fan out
+	// across the replica pool, RAs fan out inside each replica.
 	Workers int
 	// Monitor, when set, receives a "scenario/<name>/completed" sample as
 	// each replica finishes (value and interval are the completed count).
