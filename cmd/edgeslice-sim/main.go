@@ -149,7 +149,9 @@ func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
 	if err != nil {
 		return edgeslice.Scenario{}, err
 	}
-	defer f.Close()
+	// Read-only handle: decode errors surface from DecodeScenario; the
+	// close error is dropped deliberately.
+	defer func() { _ = f.Close() }()
 	return edgeslice.DecodeScenario(f)
 }
 

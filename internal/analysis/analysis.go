@@ -1,0 +1,219 @@
+// Package analysis is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: named analyzers that inspect typed
+// packages and report position-anchored diagnostics. It exists because the
+// EdgeSlice invariants — bit-reproducible histories, allocation-free warm
+// paths, no blocking I/O under a mutex — are properties of *every* input,
+// and example-based tests only check the inputs they run. The analyzers in
+// this package turn those invariants into review-time checks enforced by
+// cmd/edgeslice-lint and CI.
+//
+// # Suppression contract
+//
+// Every analyzer honors a line directive of the form
+//
+//	//edgeslice:<key> <reason>
+//
+// placed on the offending line or the line immediately above it, where
+// <key> is the analyzer's SuppressKey (e.g. //edgeslice:unordered for
+// maporder). The reason is mandatory: a directive with an empty reason does
+// not suppress — it is itself reported — so every exemption in the tree
+// documents why the invariant may be relaxed at that site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a typed package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// SuppressKey is the //edgeslice:<key> directive that exempts a line
+	// from this analyzer (with a mandatory reason).
+	SuppressKey string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	Match func(pkgPath string) bool
+	// Run inspects the package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching suppression
+// directive with a non-empty reason covers the line. A matching directive
+// with an empty reason is itself reported: exemptions must say why.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if d, ok := p.Pkg.directiveNear(position.Filename, position.Line, p.Analyzer.SuppressKey); ok {
+		if strings.TrimSpace(d.Reason) == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Analyzer: p.Analyzer.Name,
+				Pos:      position,
+				Message: fmt.Sprintf("//edgeslice:%s suppression requires a non-empty reason",
+					p.Analyzer.SuppressKey),
+			})
+		}
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Directive is a parsed //edgeslice:<key> <reason> comment.
+type Directive struct {
+	Key    string
+	Reason string
+	Line   int
+}
+
+const directivePrefix = "//edgeslice:"
+
+// parseDirective parses a single comment's text, returning ok=false for
+// comments that are not //edgeslice: directives.
+func parseDirective(text string, line int) (Directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := text[len(directivePrefix):]
+	key := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		key, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if key == "" {
+		return Directive{}, false
+	}
+	return Directive{Key: key, Reason: reason, Line: line}, true
+}
+
+// FuncDirective returns the directive with the given key attached to a
+// function's doc comment, if any.
+func (pkg *Package) FuncDirective(fn *ast.FuncDecl, key string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		line := pkg.Fset.Position(c.Pos()).Line
+		if d, ok := parseDirective(c.Text, line); ok && d.Key == key {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// directiveNear finds a directive with the given key on line or the line
+// immediately above it.
+func (pkg *Package) directiveNear(filename string, line int, key string) (Directive, bool) {
+	byLine := pkg.directives[filename]
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.Key == key {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// RunAnalyzers applies every analyzer to every package it matches and
+// returns the combined diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// matchSegments builds a Match function accepting import paths that
+// contain any of the given path segments.
+func matchSegments(segs ...string) func(string) bool {
+	set := make(map[string]bool, len(segs))
+	for _, s := range segs {
+		set[s] = true
+	}
+	return func(pkgPath string) bool {
+		for _, seg := range strings.Split(pkgPath, "/") {
+			if set[seg] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// stmtLists visits every statement list in the file (block bodies, case
+// and comm clauses), so analyzers can reason about what follows a
+// statement in its own list.
+func stmtLists(f *ast.File, visit func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// typeOf returns the static type of an expression, or nil.
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

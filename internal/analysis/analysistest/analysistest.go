@@ -1,0 +1,103 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations embedded in the fixture
+// source — a dependency-free miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line that should be flagged carries a trailing comment with
+// one or more quoted regular expressions:
+//
+//	for k := range m { // want `range over map`
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched by exactly one diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"edgeslice/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under srcRoot, applies the analyzer
+// (honoring its package Match, so out-of-scope fixtures double as scope
+// tests), and compares diagnostics against // want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(srcRoot, "")
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			collectWants(t, wants, filename)
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, wants map[string][]*want, filename string) {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		_, spec, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", filename, i+1)
+		for _, m := range wantRE.FindAllStringSubmatch(spec, -1) {
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+			}
+			wants[key] = append(wants[key], &want{re: re})
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferClose flags `defer x.Close()` when Close returns an error that the
+// defer silently discards — the PR-3 edgeslice-train bug class, where a
+// checkpoint writer's Close error (short write on a full disk) vanished
+// and a truncated checkpoint looked healthy. Writers must capture the
+// error (named-return pattern); read-only handles must discard it
+// explicitly:
+//
+//	defer func() { _ = f.Close() }() // read-only: close error is uninformative
+//
+// so every dropped error in the tree is visibly deliberate. Sites that
+// must keep the bare defer carry //edgeslice:deferclose <reason>.
+var DeferClose = &Analyzer{
+	Name:        "deferclose",
+	Doc:         "deferred Close() whose error is silently dropped",
+	SuppressKey: "deferclose",
+	Run:         runDeferClose,
+}
+
+func runDeferClose(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return true
+			}
+			if !returnsError(p, d.Call) {
+				return true
+			}
+			p.Reportf(d.Pos(),
+				"deferred %s.Close() drops its error: propagate it through a named return, or discard explicitly with `defer func() { _ = %s.Close() }()`",
+				types.ExprString(sel.X), types.ExprString(sel.X))
+			return true
+		})
+	}
+}
+
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := typeOf(p.Pkg, call)
+	if t == nil {
+		return false
+	}
+	return types.TypeString(t, nil) == "error"
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockIO flags blocking I/O performed while a sync.Mutex or sync.RWMutex
+// is held in the same function — the exact shape of the PR-2 rcnet Hub
+// head-of-line bug, where one stalled TCP peer wedged every other agent
+// behind the hub lock. Inside a critical section (between mu.Lock() and
+// the matching mu.Unlock(), or to the end of the function after
+// `defer mu.Unlock()`), the analyzer reports:
+//
+//   - Write/Read/Flush/Set*Deadline calls on conn-like receivers (types
+//     with a SetWriteDeadline method, *os.File, *bufio.Writer) or on io
+//     interfaces whose concrete value is unknown (io.Writer, net.Conn);
+//     in-memory writers (bytes.Buffer, strings.Builder) are exempt
+//   - fmt.Fprint*/io.Copy/io.WriteString whose destination is such a type
+//   - channel sends, unless inside a select that has a default clause
+//   - time.Sleep
+//
+// Sites with a bounded wait (e.g. a write deadline was just applied)
+// carry //edgeslice:lockio <reason>.
+var LockIO = &Analyzer{
+	Name:        "lockio",
+	Doc:         "blocking I/O or channel send while holding a mutex",
+	SuppressKey: "lockio",
+	Run:         runLockIO,
+}
+
+var blockingMethods = map[string]bool{
+	"Write": true, "WriteString": true, "Read": true, "Flush": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+var writeFuncs = map[string]bool{
+	"fmt.Fprintf": true, "fmt.Fprintln": true, "fmt.Fprint": true,
+	"io.Copy": true, "io.WriteString": true,
+}
+
+func runLockIO(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkLocked(p, fd.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+}
+
+// walkLocked scans a statement list tracking which mutexes are held, keyed
+// by the rendered receiver expression ("h.mu"). Branch bodies get a copy
+// of the held set: an unlock on an early-return path does not release the
+// lock for the fall-through path.
+func walkLocked(p *Pass, list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if name, locked, ok := mutexOp(p, st.X); ok {
+				if locked {
+					held[name] = true
+				} else {
+					delete(held, name)
+				}
+				continue
+			}
+			checkLockedExprs(p, st, held)
+		case *ast.DeferStmt:
+			if name, locked, ok := mutexOp(p, st.Call); ok && !locked {
+				// defer mu.Unlock(): held until function exit; keep it in
+				// the set so the rest of the body is a critical section.
+				held[name] = true
+				continue
+			}
+			checkLockedExprs(p, st.Call, held)
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				p.Reportf(st.Arrow,
+					"channel send while holding %s: a full channel blocks every other lock holder; send outside the critical section, use a select with default, or justify with //edgeslice:lockio <reason>",
+					heldNames(held))
+			}
+			checkLockedExprs(p, st, held)
+		case *ast.BlockStmt:
+			walkLocked(p, st.List, copyHeld(held))
+		case *ast.IfStmt:
+			checkLockedExprs(p, st.Cond, held)
+			walkLocked(p, st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				walkLocked(p, []ast.Stmt{st.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			checkLockedExprs(p, st.Cond, held)
+			walkLocked(p, st.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkLockedExprs(p, st.X, held)
+			walkLocked(p, st.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			checkLockedExprs(p, st.Tag, held)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range st.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
+					p.Reportf(send.Arrow,
+						"blocking select send while holding %s: add a default clause or move the send outside the critical section (//edgeslice:lockio <reason> to justify)",
+						heldNames(held))
+				}
+				walkLocked(p, cc.Body, copyHeld(held))
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit this function's locks.
+		default:
+			checkLockedExprs(p, st, held)
+		}
+	}
+}
+
+// mutexOp matches x.Lock/RLock/Unlock/RUnlock() where the method belongs
+// to sync.Mutex or sync.RWMutex; it returns the rendered receiver and
+// whether the call acquires.
+func mutexOp(p *Pass, e ast.Expr) (name string, locked, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, isFn := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", false, false
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return types.ExprString(sel.X), true, true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkLockedExprs reports blocking I/O shapes inside node while any lock
+// is held. Function literals are skipped: their bodies run later, under
+// whatever locks hold at call time, and are analyzed as fresh functions
+// if they lock anything themselves.
+func checkLockedExprs(p *Pass, node ast.Node, held map[string]bool) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			checkLockedCall(p, n, held)
+		}
+		return true
+	})
+}
+
+func checkLockedCall(p *Pass, call *ast.CallExpr, held map[string]bool) {
+	info := p.Pkg.Info
+	if name := qualifiedCallee(info, call); name != "" {
+		if name == "time.Sleep" {
+			p.Reportf(call.Pos(), "time.Sleep while holding %s stalls every other lock holder; sleep outside the critical section or justify with //edgeslice:lockio <reason>", heldNames(held))
+			return
+		}
+		if writeFuncs[name] && len(call.Args) > 0 {
+			if t := typeOf(p.Pkg, call.Args[0]); t != nil && blockingIODest(t) {
+				p.Reportf(call.Pos(), "%s to %s while holding %s: a stalled peer blocks every other lock holder; write outside the critical section or justify with //edgeslice:lockio <reason>", name, t, heldNames(held))
+			}
+			return
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !blockingMethods[sel.Sel.Name] {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := typeOf(p.Pkg, sel.X)
+	if recv == nil || !blockingIODest(recv) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s on %s while holding %s: a stalled peer blocks every other lock holder; move the I/O outside the critical section or justify with //edgeslice:lockio <reason>",
+		sel.Sel.Name, recv, heldNames(held))
+}
+
+// blockingIODest reports whether a value of type t can block on I/O:
+// conn-like concrete types (anything with SetWriteDeadline), files and
+// buffered writers over unknown sinks, and io interfaces. Purely
+// in-memory sinks are excluded.
+func blockingIODest(t types.Type) bool {
+	switch types.TypeString(t, nil) {
+	case "*bytes.Buffer", "bytes.Buffer", "*strings.Builder", "strings.Builder":
+		return false
+	case "*os.File", "*bufio.Writer", "*bufio.ReadWriter":
+		return true
+	}
+	if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetWriteDeadline"); obj != nil {
+		return true
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			switch iface.Method(i).Name() {
+			case "Write", "Read":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

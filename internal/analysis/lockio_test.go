@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"edgeslice/internal/analysis"
+	"edgeslice/internal/analysis/analysistest"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockIO, "lockio/a")
+}

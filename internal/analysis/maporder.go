@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map in determinism-critical packages.
+// Go randomizes map iteration order, so any observable effect of such a
+// loop — recorded histories, emitted metrics, float accumulation — varies
+// run to run. Two shapes are exempt: the collect-keys-then-sort idiom
+// (the loop only appends the key or value to a slice that is subsequently
+// sorted in the same block), and loops justified with
+// //edgeslice:unordered <reason>.
+var MapOrder = &Analyzer{
+	Name:        "maporder",
+	Doc:         "range over a map in a determinism-critical package without sorting",
+	SuppressKey: "unordered",
+	Match: matchSegments("core", "nn", "rl", "netsim", "scenario",
+		"admm", "telemetry", "monitor"),
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		stmtLists(f, func(list []ast.Stmt) {
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := typeOf(p.Pkg, rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if collectsAndSorts(rs, list[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.For,
+					"range over map %s: iteration order is randomized; collect and sort keys first, or justify with //edgeslice:unordered <reason>",
+					types.ExprString(rs.X))
+			}
+		})
+	}
+}
+
+// collectsAndSorts reports whether rs is the collect-then-sort idiom: its
+// body is exactly `dst = append(dst, key-or-value)` and a later statement
+// in the same list sorts dst.
+func collectsAndSorts(rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return false
+	}
+	appended, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if !identMatches(rs.Key, appended.Name) && !identMatches(rs.Value, appended.Name) {
+		return false
+	}
+	for _, st := range rest {
+		if sortsSlice(st, dst.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+func identMatches(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// sortsSlice reports whether st is a call like sort.Strings(dst),
+// sort.Slice(dst, ...), or slices.Sort(dst).
+func sortsSlice(st ast.Stmt, dst string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort",
+		"SortFunc", "SortStableFunc", "Stable":
+	default:
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == dst
+}

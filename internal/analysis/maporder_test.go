@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"edgeslice/internal/analysis"
+	"edgeslice/internal/analysis/analysistest"
+)
+
+// The maporder/other fixture ranges over a map with no want comments: it
+// passes only because the determinism scope excludes it, so it doubles as
+// the scope test.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MapOrder, "maporder/core", "maporder/other")
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"edgeslice/internal/analysis"
+	"edgeslice/internal/analysis/analysistest"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MetricName, "metricname/a")
+}

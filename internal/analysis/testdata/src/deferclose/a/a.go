@@ -1,0 +1,74 @@
+// Package a exercises the deferclose analyzer — the PR-3 edgeslice-train
+// bug class, where a checkpoint writer's deferred Close error vanished.
+package a
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+type plainCloser struct{}
+
+func (plainCloser) Close() {}
+
+func open() (*file, error) { return &file{}, nil }
+
+// A bare deferred Close drops a short-write error on the floor: flagged.
+func Bare() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred f\.Close\(\) drops its error`
+	return nil
+}
+
+// The named-return pattern propagates the error: fine.
+func Propagated() (err error) {
+	f, openErr := open()
+	if openErr != nil {
+		return openErr
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// An explicit discard is visibly deliberate: fine.
+func Discarded() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return nil
+}
+
+// A Close that returns nothing has no error to drop.
+func NoError(p plainCloser) {
+	defer p.Close()
+}
+
+// A justified bare defer is honored.
+func Justified() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	//edgeslice:deferclose read-only handle; the close error is uninformative
+	defer f.Close()
+	return nil
+}
+
+// An unjustified suppression is reported.
+func BadJustification() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	//edgeslice:deferclose
+	defer f.Close() // want `requires a non-empty reason`
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package a exercises the lockio analyzer with a conn-like type (it has
+// SetWriteDeadline, like net.Conn) guarded by a mutex — the PR-2 rcnet
+// Hub head-of-line bug shape.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type Conn struct{}
+
+func (Conn) Write(b []byte) (int, error)        { return len(b), nil }
+func (Conn) Read(b []byte) (int, error)         { return 0, nil }
+func (Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+type Hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn Conn
+	w    io.Writer
+	buf  bytes.Buffer
+	ch   chan int
+}
+
+// Conn writes inside an explicit Lock/Unlock window are flagged.
+func (h *Hub) WriteLocked() {
+	h.mu.Lock()
+	h.conn.Write(nil) // want `Write on .*Conn while holding h\.mu`
+	h.mu.Unlock()
+}
+
+// After defer Unlock the whole remaining body is a critical section.
+func (h *Hub) WriteDeferred() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.SetWriteDeadline(time.Time{}) // want `SetWriteDeadline on .*Conn while holding h\.mu`
+}
+
+// A read lock blocks writers just the same.
+func (h *Hub) ReadLocked(b []byte) {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	h.conn.Read(b) // want `Read on .*Conn while holding h\.rw`
+}
+
+// Writes to an io.Writer interface may reach a conn: flagged.
+func (h *Hub) WriteIface() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.w.Write(nil) // want `Write on io\.Writer while holding h\.mu`
+}
+
+// Formatted writes through fmt are caught via their destination type.
+func (h *Hub) Fprintf() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(h.w, "x") // want `fmt\.Fprintf to io\.Writer while holding h\.mu`
+}
+
+// In-memory sinks never block: bytes.Buffer writes are fine under a lock.
+func (h *Hub) BufferLocked() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buf.Write(nil)
+	fmt.Fprintf(&h.buf, "x")
+}
+
+// A blocking channel send under the lock wedges every other holder.
+func (h *Hub) SendLocked(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- v // want `channel send while holding h\.mu`
+}
+
+// A select with a default clause cannot block: exempt.
+func (h *Hub) SendNonBlocking(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v:
+	default:
+	}
+}
+
+// A select without a default still blocks: flagged.
+func (h *Hub) SendSelect(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v: // want `blocking select send while holding h\.mu`
+	}
+}
+
+// Sleeping under the lock stalls all other holders.
+func (h *Hub) SleepLocked() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding h\.mu`
+}
+
+// The fixed PR-2 shape: snapshot under the lock, write outside it.
+func (h *Hub) WriteUnlocked() {
+	h.mu.Lock()
+	c := h.conn
+	h.mu.Unlock()
+	c.Write(nil)
+}
+
+// A branch that unlocks and returns releases the lock for its own path
+// without releasing it for the fall-through.
+func (h *Hub) EarlyReturn(bad bool) {
+	h.mu.Lock()
+	if bad {
+		h.mu.Unlock()
+		h.conn.Write(nil)
+		return
+	}
+	h.conn.Write(nil) // want `Write on .*Conn while holding h\.mu`
+	h.mu.Unlock()
+}
+
+// A deadline-bounded write may be justified.
+func (h *Hub) Justified() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//edgeslice:lockio write deadline applied by the caller bounds the stall to writeTimeout
+	h.conn.Write(nil)
+}
+
+// An unjustified suppression is reported.
+func (h *Hub) BadJustification() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//edgeslice:lockio
+	h.conn.Write(nil) // want `requires a non-empty reason`
+}
+
+// Closures defined under the lock run later, not now: their bodies are
+// not part of this critical section.
+func (h *Hub) RegisterCallback(cbs *[]func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	*cbs = append(*cbs, func() { h.conn.Write(nil) })
+}

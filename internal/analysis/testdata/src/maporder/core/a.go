@@ -1,0 +1,82 @@
+// Package core is a maporder fixture named so the determinism scope
+// matches it.
+package core
+
+import "sort"
+
+// Direct map iteration with observable order: flagged.
+func Concat(m map[string]string) string {
+	var out string
+	for _, v := range m { // want `range over map m`
+		out += v
+	}
+	return out
+}
+
+// Keyed float accumulation is order-sensitive too: flagged.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m`
+		s += v
+	}
+	return s
+}
+
+// The collect-then-sort idiom is exempt: the loop only gathers keys and a
+// later statement in the same block sorts them.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collected values sorted with sort.Slice are exempt as well.
+func Values(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Collecting without sorting leaks map order into the result: flagged.
+func KeysUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// A justified suppression with a reason is honored.
+func SumSuppressed(m map[string]float64) float64 {
+	var s float64
+	//edgeslice:unordered summing pre-rounded integers stored as floats; order cannot change the total
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// A suppression without a reason does not suppress — it is reported.
+func SumBadSuppression(m map[string]float64) float64 {
+	var s float64
+	//edgeslice:unordered
+	for _, v := range m { // want `requires a non-empty reason`
+		s += v
+	}
+	return s
+}
+
+// Slice iteration is never flagged.
+func SliceSum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

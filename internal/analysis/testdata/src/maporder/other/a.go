@@ -1,0 +1,11 @@
+// Package other is outside the determinism-critical scope, so maporder
+// must stay silent here even for direct map iteration.
+package other
+
+func Concat(m map[string]string) string {
+	var out string
+	for _, v := range m {
+		out += v
+	}
+	return out
+}

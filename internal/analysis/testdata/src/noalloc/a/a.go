@@ -1,0 +1,127 @@
+// Package a exercises the noalloc analyzer. Only functions annotated
+// //edgeslice:noalloc are checked.
+package a
+
+import "fmt"
+
+// WS stands in for the nn.Workspace arena.
+type WS struct {
+	buf []float64
+}
+
+type vec struct{ x, y float64 }
+
+// Unannotated functions may allocate freely.
+func Unchecked(n int) []float64 {
+	return make([]float64, n)
+}
+
+//edgeslice:noalloc
+func Make(n int) []float64 {
+	return make([]float64, n) // want `make allocates`
+}
+
+//edgeslice:noalloc
+func New() *vec {
+	return new(vec) // want `new allocates`
+}
+
+//edgeslice:noalloc
+func Append(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `append may grow`
+}
+
+//edgeslice:noalloc
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//edgeslice:noalloc
+func MapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//edgeslice:noalloc
+func Addressed() *vec {
+	return &vec{1, 2} // want `&composite literal allocates`
+}
+
+// A struct *value* literal is a stack construction and stays legal.
+//
+//edgeslice:noalloc
+func ValueLit() float64 {
+	v := vec{1, 2}
+	return v.x + v.y
+}
+
+//edgeslice:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// Constant concatenation folds at compile time and stays legal.
+//
+//edgeslice:noalloc
+func ConstConcat() string {
+	return "edge" + "slice"
+}
+
+//edgeslice:noalloc
+func Closure(xs []float64) float64 {
+	f := func() float64 { return xs[0] } // want `closure captures xs`
+	return f()
+}
+
+// A literal that captures nothing local cannot force a heap closure.
+//
+//edgeslice:noalloc
+func PureClosure() float64 {
+	f := func(v float64) float64 { return 2 * v }
+	return f(21)
+}
+
+//edgeslice:noalloc
+func Box(v int) any {
+	return v // want `boxes the value`
+}
+
+//edgeslice:noalloc
+func ConvertIface(v vec) any {
+	return any(v) // want `conversion to interface`
+}
+
+//edgeslice:noalloc
+func BytesToString(b []byte) string {
+	return string(b) // want `to string conversion copies`
+}
+
+//edgeslice:noalloc
+func Sprintf(v float64) string {
+	return fmt.Sprintf("%v", v) // want `fmt\.Sprintf allocates`
+}
+
+// panic arguments are cold paths and exempt.
+//
+//edgeslice:noalloc
+func Guard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	return n
+}
+
+// A justified allocation site is honored.
+//
+//edgeslice:noalloc
+func Grow(ws *WS, v float64) {
+	//edgeslice:allocok cold growth path; amortized away once the arena is warm
+	ws.buf = append(ws.buf, v)
+}
+
+// An unjustified suppression is reported.
+//
+//edgeslice:noalloc
+func BadGrow(ws *WS, v float64) {
+	//edgeslice:allocok
+	ws.buf = append(ws.buf, v) // want `requires a non-empty reason`
+}

@@ -1,0 +1,46 @@
+// Package core is a walltime fixture named so the simulation scope
+// matches it.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+var epoch time.Time
+
+// Wall-clock reads are flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func Age() time.Duration {
+	return time.Since(epoch) // want `time\.Since reads the wall clock`
+}
+
+// Global math/rand convenience functions draw from the unseeded stream.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand\.Float64`
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn`
+}
+
+// Explicitly seeded sources are the sanctioned path.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// A justified wall-clock read is honored.
+func Uptime() time.Duration {
+	//edgeslice:wallclock exposition-only uptime; never recorded into History
+	return time.Since(epoch)
+}
+
+// An unjustified suppression is reported.
+func BadUptime() time.Duration {
+	//edgeslice:wallclock
+	return time.Since(epoch) // want `requires a non-empty reason`
+}

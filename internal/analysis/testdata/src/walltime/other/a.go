@@ -1,0 +1,10 @@
+// Package other is outside the simulation/recording scope (e.g. a CLI or
+// wire-protocol package), where deadline arithmetic legitimately reads
+// the clock; walltime must stay silent.
+package other
+
+import "time"
+
+func Deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}

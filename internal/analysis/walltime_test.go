@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"edgeslice/internal/analysis"
+	"edgeslice/internal/analysis/analysistest"
+)
+
+// walltime/other reads time.Now with no want comments: out-of-scope
+// packages (CLIs, wire protocol) keep their clocks.
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.WallTime, "walltime/core", "walltime/other")
+}

@@ -278,7 +278,9 @@ func ReplayHistoryLogFile(path string) (*History, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	defer f.Close()
+	// Read-only handle: the close error carries no information the replay
+	// result doesn't already have, so it is dropped deliberately.
+	defer func() { _ = f.Close() }()
 	return ReplayHistoryLog(f)
 }
 

@@ -126,6 +126,8 @@ func (p *pooledPolicy) Act(state []float64) []float64 {
 // batched forward only reads weights and draws all scratch from ws, so no
 // clone is borrowed and concurrent calls with distinct workspaces are safe.
 // Rows are bit-identical to Act (clones share the prototype's weights).
+//
+//edgeslice:noalloc
 func (p *pooledPolicy) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
 	return p.proto.ForwardBatch(states, ws)
 }

@@ -174,6 +174,7 @@ func (s *System) EnableTelemetry(reg *telemetry.Registry) {
 		})
 	for i := 0; i < s.cfg.EnvTemplate.NumSlices; i++ {
 		i := i
+		//edgeslice:dynname formatted once per slice at registration, bounded by NumSlices; exposition reads the cached family
 		reg.GaugeFunc(fmt.Sprintf(`edgeslice_sla_met{slice="%d"}`, i),
 			"1 when the slice's SLA held in the last period", func() float64 {
 				s.stats.mu.Lock()

@@ -58,6 +58,7 @@ func (m *Monitor) SetWindow(n int) {
 	if n <= 0 {
 		return
 	}
+	//edgeslice:unordered per-metric in-place truncation; no cross-metric effects, and the evicted counter is an order-independent sum
 	for metric, s := range m.series {
 		if len(s) > n {
 			m.evicted += uint64(len(s) - n)
@@ -88,6 +89,7 @@ func (m *Monitor) TotalSamples() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	n := 0
+	//edgeslice:unordered integer sum over series lengths is order-independent
 	for _, s := range m.series {
 		n += len(s)
 	}
@@ -196,11 +198,15 @@ func (m *Monitor) SliceOfIP(ip string) (int, bool) {
 // in interval order, without copying the window, and returns how many
 // samples were visited. fn must not call back into the monitor (it runs
 // under the read lock).
+//
+//edgeslice:noalloc
 func (m *Monitor) ReduceOver(metric string, from, to int, fn func(Sample)) int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	s := m.series[metric]
+	//edgeslice:allocok sort.Search closures stay on the stack; BenchmarkReduceOver pins 0 B/op
 	lo := sort.Search(len(s), func(i int) bool { return s[i].Interval >= from })
+	//edgeslice:allocok sort.Search closures stay on the stack; BenchmarkReduceOver pins 0 B/op
 	hi := sort.Search(len(s), func(i int) bool { return s[i].Interval > to })
 	for _, sample := range s[lo:hi] {
 		fn(sample)

@@ -77,6 +77,8 @@ func (d *Dense) Forward(x *Matrix) *Matrix {
 // and activation are fused into one pass over the output. Values are
 // bit-identical to Forward: each element is act((Σ_k x·w) + b) with the same
 // operation order.
+//
+//edgeslice:noalloc
 func (d *Dense) forwardInfer(x *Matrix, ws *Workspace) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", x.Cols, d.In))

@@ -204,6 +204,8 @@ func MatMulNTInto(c, a, b *Matrix) *Matrix {
 // one sequential mul+add chain over k; the vector lanes span independent
 // elements only). Wide batches — the batched executor's gather matrices —
 // run ~3-4x faster; everything else falls through to MatMulNTInto.
+//
+//edgeslice:noalloc
 func MatMulNTIntoWS(c, a, b *Matrix, ws *Workspace) *Matrix {
 	if useAVX && a.Rows >= 4 && b.Rows >= 8 && a.Cols > 0 {
 		return matMulNTAVX(c, a, b, ws)
@@ -215,6 +217,8 @@ func MatMulNTIntoWS(c, a, b *Matrix, ws *Workspace) *Matrix {
 // into a column-interleaved panel, each panel sweeps B in 8-row tiles, and
 // the row/column tails reuse the scalar kernel's per-element dots (the
 // same sequential operation order, so tails are bit-identical too).
+//
+//edgeslice:noalloc
 func matMulNTAVX(c, a, b *Matrix, ws *Workspace) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulNT inner dim mismatch %d != %d", a.Cols, b.Cols))

@@ -62,6 +62,8 @@ func (n *Network) Forward(x *Matrix) *Matrix {
 // next draw after a ws.Reset; the input is not retained. Once ws has seen
 // the shapes, calls allocate nothing. Backward must not follow ForwardBatch:
 // no intermediates are cached.
+//
+//edgeslice:noalloc
 func (n *Network) ForwardBatch(x *Matrix, ws *Workspace) *Matrix {
 	y := x
 	for _, l := range n.Layers {
@@ -75,6 +77,8 @@ func (n *Network) ForwardBatch(x *Matrix, ws *Workspace) *Matrix {
 // (valid until ws is Reset and redrawn). The caller is responsible for
 // resetting ws between steps; warm calls allocate nothing. Results are
 // bit-identical to Forward1.
+//
+//edgeslice:noalloc
 func (n *Network) Forward1WS(x []float64, ws *Workspace) []float64 {
 	in := ws.Next(1, len(x))
 	copy(in.Data, x)

@@ -131,6 +131,8 @@ func (a *Agent) Act(state []float64) []float64 {
 
 // ActBatch implements rl.BatchActor: one wide actor forward evaluates every
 // row of states, bit-identical per row to Act.
+//
+//edgeslice:noalloc
 func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
 	return a.actor.ForwardBatch(states, ws)
 }

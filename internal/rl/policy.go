@@ -86,6 +86,8 @@ func (p *GaussianPolicy) MeanAction(state []float64) []float64 {
 // MeanActionWS is MeanAction routed through a caller-supplied workspace: the
 // returned slice is workspace-backed (valid until ws is Reset and redrawn)
 // and warm calls allocate nothing. Values are bit-identical to MeanAction.
+//
+//edgeslice:noalloc
 func (p *GaussianPolicy) MeanActionWS(state []float64, ws *nn.Workspace) []float64 {
 	return p.Mean.Forward1WS(state, ws)
 }
@@ -93,6 +95,8 @@ func (p *GaussianPolicy) MeanActionWS(state []float64, ws *nn.Workspace) []float
 // MeanBatch evaluates the deterministic mean action for every row of states
 // in one wide forward pass; see nn.(*Network).ForwardBatch for the aliasing
 // and bit-identity contract.
+//
+//edgeslice:noalloc
 func (p *GaussianPolicy) MeanBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
 	return p.Mean.ForwardBatch(states, ws)
 }

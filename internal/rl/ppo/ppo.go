@@ -90,6 +90,8 @@ func (a *Agent) Act(state []float64) []float64 { return a.policy.MeanAction(stat
 
 // ActBatch implements rl.BatchActor: one wide mean-network forward evaluates
 // every row of states, bit-identical per row to Act.
+//
+//edgeslice:noalloc
 func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
 	return a.policy.MeanBatch(states, ws)
 }

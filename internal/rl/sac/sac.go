@@ -137,6 +137,8 @@ func (a *Agent) Act(state []float64) []float64 {
 // ActBatch implements rl.BatchActor: one wide head forward, then the
 // deterministic squashed mean per row — bit-identical per row to Act (the
 // log-std half of the head is ignored, as Act ignores it).
+//
+//edgeslice:noalloc
 func (a *Agent) ActBatch(states *nn.Matrix, ws *nn.Workspace) *nn.Matrix {
 	head := a.actor.ForwardBatch(states, ws)
 	out := ws.Next(states.Rows, a.actionDim)

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"edgeslice/internal/core"
 	"edgeslice/internal/netsim"
@@ -201,7 +202,15 @@ func (s Spec) validateLifecycles() error {
 			teardowns[ev.Slice] = ev.At
 		}
 	}
-	for slice, down := range teardowns {
+	// Check slices in sorted order so a spec with several bad lifecycles
+	// always reports the same one.
+	tornDown := make([]int, 0, len(teardowns))
+	for slice := range teardowns {
+		tornDown = append(tornDown, slice)
+	}
+	sort.Ints(tornDown)
+	for _, slice := range tornDown {
+		down := teardowns[slice]
 		up := admits[slice] // zero when the slice is provisioned at start
 		if down <= up {
 			return fmt.Errorf("scenario %s: slice %d torn down at interval %d, not after its admission at %d",
