@@ -13,12 +13,24 @@
 // Both roles accept -metrics-addr to serve live telemetry (/metrics in
 // Prometheus text format, /healthz as JSON, and /debug/pprof) while the
 // run progresses: the coordinator exports run progress, residuals,
-// per-slice SLA state, and hub connection/report counters; the agent
-// exports its report/coordination counters. The remote-engine coordinator
-// additionally accepts -history (append-only on-disk history log,
-// replayable with edgeslice-exp -replay) and -stream-window
-// (bounded-memory streaming history — prints a steady-state summary
-// instead of the per-period table).
+// per-slice SLA state, hub connection/report counters, and agent liveness;
+// the agent exports its report/coordination/heartbeat counters. The
+// remote-engine coordinator additionally accepts -history (append-only
+// on-disk history log, replayable with edgeslice-exp -replay) and
+// -stream-window (bounded-memory streaming history — prints a steady-state
+// summary instead of the per-period table).
+//
+// The coordination plane is fault tolerant. -heartbeat on both roles turns
+// on liveness: agents beacon at the given interval and the coordinator
+// reaps connections silent for 4× that long, so a dead agent is detected
+// without waiting for a broadcast write timeout. -retry-periods lets the
+// coordinator retry an in-flight period's collection against the
+// re-registered agent set (a reconnecting agent supersedes its stale
+// connection and replays the completed periods from its resume frame), and
+// -reconnect makes an agent redial after a lost connection. -resume
+// restarts a crashed coordinator from its -history log: the completed
+// periods are replayed into the ADMM state and the run continues in place,
+// bit-identically to a run that never crashed.
 //
 // The coordinator's default engine ("remote") consumes the per-interval
 // records agents attach to their reports and records the same History a
@@ -41,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"edgeslice"
@@ -51,6 +64,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgeslice-daemon: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// coordOptions bundles the coordinator role's configuration.
+type coordOptions struct {
+	listen       string
+	slices, ras  int
+	periods      int
+	timeout      time.Duration
+	metricsAddr  string
+	streamWindow int
+	historyPath  string
+	heartbeat    time.Duration
+	retryPeriods int
+	resume       bool
 }
 
 func run() error {
@@ -71,19 +98,35 @@ func run() error {
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		streamWindow = flag.Int("stream-window", 0, "coordinator (remote): bounded-memory streaming history with this ring window")
 		historyPath  = flag.String("history", "", "coordinator (remote): write the run's on-disk history log to this file")
+
+		heartbeat    = flag.Duration("heartbeat", 0, "agent: send liveness heartbeats at this interval; coordinator: reap conns silent for 4x this long")
+		retryPeriods = flag.Int("retry-periods", 0, "coordinator (remote): extra collection attempts per period after a timeout, re-broadcast to missing RAs")
+		reconnect    = flag.Int("reconnect", 0, "agent: redial attempts after a lost connection (re-registers and resumes mid-run)")
+		resume       = flag.Bool("resume", false, "coordinator (remote): resume a crashed run from the -history log instead of starting over")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "coordinator":
+		if *reconnect != 0 {
+			return fmt.Errorf("-reconnect applies to the agent role")
+		}
 		switch *engine {
 		case "remote", "":
-			return runCoordinatorRemote(*listen, *slices, *ras, *periods, *timeout, *metricsAddr, *streamWindow, *historyPath)
+			return runCoordinatorRemote(coordOptions{
+				listen: *listen, slices: *slices, ras: *ras, periods: *periods,
+				timeout: *timeout, metricsAddr: *metricsAddr,
+				streamWindow: *streamWindow, historyPath: *historyPath,
+				heartbeat: *heartbeat, retryPeriods: *retryPeriods, resume: *resume,
+			})
 		case "legacy":
 			if *streamWindow != 0 || *historyPath != "" {
 				return fmt.Errorf("-stream-window and -history need the remote engine's full history; the legacy engine records perf grids only")
 			}
-			return runCoordinator(*listen, *slices, *ras, *periods, *timeout, *metricsAddr)
+			if *resume || *retryPeriods != 0 {
+				return fmt.Errorf("-resume and -retry-periods need the remote engine")
+			}
+			return runCoordinator(*listen, *slices, *ras, *periods, *timeout, *metricsAddr, *heartbeat)
 		default:
 			return fmt.Errorf("-engine must be remote or legacy, got %q", *engine)
 		}
@@ -91,7 +134,10 @@ func run() error {
 		if *streamWindow != 0 || *historyPath != "" {
 			return fmt.Errorf("-stream-window and -history apply to the coordinator role; the agent keeps no history")
 		}
-		return runAgent(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout, *metricsAddr)
+		if *resume || *retryPeriods != 0 {
+			return fmt.Errorf("-resume and -retry-periods apply to the coordinator role")
+		}
+		return runAgentLoop(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout, *metricsAddr, *heartbeat, *reconnect)
 	default:
 		return fmt.Errorf("-role must be coordinator or agent")
 	}
@@ -99,21 +145,44 @@ func run() error {
 
 // runCoordinatorRemote drives the run through the remote execution engine:
 // distributed agents report per-interval records and the coordinator
-// records the same History a local run produces.
-func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string, streamWindow int, historyPath string) error {
+// records the same History a local run produces. With -resume it restarts
+// from the history log: the completed periods are replayed into the ADMM
+// state, re-registering agents receive the replay as their resume frame,
+// and only the remaining periods run live.
+func runCoordinatorRemote(o coordOptions) error {
 	cfg := edgeslice.DefaultConfig()
-	if slices != cfg.EnvTemplate.NumSlices {
+	if o.slices != cfg.EnvTemplate.NumSlices {
 		return fmt.Errorf("the remote engine's presets support %d slices, got %d; use -engine legacy for other topologies",
-			cfg.EnvTemplate.NumSlices, slices)
+			cfg.EnvTemplate.NumSlices, o.slices)
 	}
-	cfg.NumRAs = ras
+	cfg.NumRAs = o.ras
 	sys, err := edgeslice.NewSystem(cfg) // shape + coordinator only; envs and agents live remotely
 	if err != nil {
 		return err
 	}
-	rec := edgeslice.RecordOptions{StreamWindow: streamWindow}
-	if historyPath != "" {
-		hlog, err := edgeslice.CreateHistoryLog(historyPath, slices, ras, cfg.EnvTemplate.T)
+	rec := edgeslice.RecordOptions{StreamWindow: o.streamWindow}
+	var prefix *edgeslice.History
+	var zs, ys [][][]float64
+	if o.resume {
+		if o.historyPath == "" {
+			return fmt.Errorf("-resume needs the -history log to resume from")
+		}
+		if o.streamWindow != 0 {
+			return fmt.Errorf("-resume replays the exact on-disk log; it does not combine with -stream-window")
+		}
+		hlog, pre, err := edgeslice.OpenHistoryLogAppend(o.historyPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hlog.Close() }()
+		if zs, ys, err = sys.PrimeFromHistory(pre); err != nil {
+			return err
+		}
+		prefix = pre
+		rec.Log = hlog
+		fmt.Printf("resuming from %s: %d completed period(s) replayed\n", o.historyPath, pre.Periods())
+	} else if o.historyPath != "" {
+		hlog, err := edgeslice.CreateHistoryLog(o.historyPath, o.slices, o.ras, cfg.EnvTemplate.T)
 		if err != nil {
 			return err
 		}
@@ -121,34 +190,69 @@ func runCoordinatorRemote(listen string, slices, ras, periods int, timeout time.
 		rec.Log = hlog
 	}
 	sys.SetRecording(rec)
-	hub, err := edgeslice.NewHub(listen, slices, ras)
+	hub, err := edgeslice.NewHub(o.listen, o.slices, o.ras)
 	if err != nil {
 		return err
 	}
-	if metricsAddr != "" {
+	if prefix != nil {
+		// Prime before any agent can register, so every registration —
+		// including the first — receives the full replay in its resume
+		// frame.
+		if err := hub.PrimeResume(prefix.Periods(), zs, ys); err != nil {
+			_ = hub.Shutdown()
+			return err
+		}
+	}
+	if o.heartbeat > 0 {
+		hub.SetLiveness(4 * o.heartbeat)
+	}
+	sys.SetLiveness(hub.Liveness)
+	if o.metricsAddr != "" {
 		reg := edgeslice.NewTelemetryRegistry()
 		sys.EnableTelemetry(reg)
 		hub.EnableTelemetry(reg)
-		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any { return sys.Health() })
+		srv, err := edgeslice.StartTelemetry(o.metricsAddr, reg, func() any { return sys.Health() })
 		if err != nil {
 			return err
 		}
 		defer func() { _ = srv.Close() }()
 		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
 	}
-	exec := edgeslice.NewRemoteExecutor(hub, timeout)
+	exec := edgeslice.NewRemoteExecutorWithOptions(hub, edgeslice.RemoteOptions{
+		Timeout: o.timeout, RetryPeriods: o.retryPeriods,
+	})
 	defer func() { _ = exec.Close() }()
-	fmt.Printf("coordinator listening on %s, waiting for %d agents...\n", hub.Addr(), ras)
-	if err := hub.WaitRegistered(timeout); err != nil {
+	remaining := o.periods
+	if prefix != nil {
+		remaining -= prefix.Periods()
+		if remaining <= 0 {
+			fmt.Printf("history log already holds %d period(s); nothing to run\n", prefix.Periods())
+			return printRunReport(prefix, exec)
+		}
+	}
+	fmt.Printf("coordinator listening on %s, waiting for %d agents...\n", hub.Addr(), o.ras)
+	if err := hub.WaitRegistered(o.timeout); err != nil {
 		return err
 	}
-	h, err := sys.RunPeriodsWith(exec, periods)
+	h, err := sys.RunPeriodsWith(exec, remaining)
 	if err != nil {
 		if h != nil && h.Periods() > 0 {
 			fmt.Printf("run failed after %d completed period(s): %v\n", h.Periods(), err)
 		}
 		return err
 	}
+	if prefix != nil {
+		if err := prefix.Append(h); err != nil {
+			return err
+		}
+		h = prefix
+	}
+	return printRunReport(h, exec)
+}
+
+// printRunReport prints the run's per-period table (or streaming summary)
+// and closes the executor.
+func printRunReport(h *edgeslice.History, exec edgeslice.Executor) error {
 	if h.Streaming() {
 		if err := printStreamingSummary(h); err != nil {
 			return err
@@ -199,12 +303,15 @@ func printStreamingSummary(h *edgeslice.History) error {
 	return nil
 }
 
-func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string) error {
+func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string, heartbeat time.Duration) error {
 	hub, err := edgeslice.NewHub(listen, slices, ras)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = hub.Shutdown() }()
+	if heartbeat > 0 {
+		hub.SetLiveness(4 * heartbeat)
+	}
 	if metricsAddr != "" {
 		reg := edgeslice.NewTelemetryRegistry()
 		hub.EnableTelemetry(reg)
@@ -239,67 +346,86 @@ func runCoordinator(listen string, slices, ras, periods int, timeout time.Durati
 	return hub.Shutdown()
 }
 
-func runAgent(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration, metricsAddr string) error {
-	envCfg := edgeslice.DefaultEnvConfig()
-	if slices != envCfg.NumSlices {
-		return fmt.Errorf("daemon presets support %d slices, got %d", envCfg.NumSlices, slices)
-	}
-	envCfg.TrainCoordRandom = false
-	envCfg.Seed = seed + int64(ra)*7919
-	env, err := edgeslice.NewEnv(envCfg)
-	if err != nil {
-		return err
-	}
-	env.Reset()
-
-	var policy edgeslice.Agent
+// loadPolicy resolves the agent's policy: a trained checkpoint from disk,
+// or a freshly trained one. The policy object is independent of any
+// connection, so reconnect attempts reuse it.
+func loadPolicy(ra int, agentFile string, train int, seed int64) (edgeslice.Agent, error) {
 	if agentFile != "" {
 		f, err := os.Open(agentFile)
 		if err != nil {
-			return fmt.Errorf("open agent file: %w", err)
+			return nil, fmt.Errorf("open agent file: %w", err)
 		}
-		policy, err = edgeslice.LoadAgent(f)
+		policy, err := edgeslice.LoadAgent(f)
 		cerr := f.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if cerr != nil {
-			return cerr
+			return nil, cerr
 		}
 		fmt.Printf("RA %d: loaded policy from %s\n", ra, agentFile)
-	} else {
-		fmt.Printf("RA %d: training fresh agent (%d steps)...\n", ra, train)
-		cfg := edgeslice.DefaultConfig()
-		cfg.NumRAs = 1
-		cfg.TrainSteps = train
-		cfg.Seed = seed + int64(ra)
-		sys, err := edgeslice.NewSystem(cfg)
-		if err != nil {
-			return err
-		}
-		if err := sys.Train(); err != nil {
-			return err
-		}
-		var buf bytes.Buffer
-		if err := edgeslice.SaveAgent(&buf, sys, 0); err != nil {
-			return err
-		}
-		policy, err = edgeslice.LoadAgent(&buf)
-		if err != nil {
-			return err
-		}
+		return policy, nil
 	}
+	fmt.Printf("RA %d: training fresh agent (%d steps)...\n", ra, train)
+	cfg := edgeslice.DefaultConfig()
+	cfg.NumRAs = 1
+	cfg.TrainSteps = train
+	cfg.Seed = seed + int64(ra)
+	sys, err := edgeslice.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Train(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := edgeslice.SaveAgent(&buf, sys, 0); err != nil {
+		return nil, err
+	}
+	return edgeslice.LoadAgent(&buf)
+}
 
-	client, err := edgeslice.DialAgent(connect, ra, timeout)
+// runAgentLoop runs the agent with up to reconnect redial attempts after a
+// lost connection. Every (re)connection rebuilds the environment from its
+// deterministic seed — RunAgent's resume replay then fast-forwards it to
+// the run's current period — while the trained policy is loaded once and
+// reused. The telemetry server outlives individual connections: its
+// counters read whichever client is current (and reset across
+// reconnections, the usual counter-restart semantics).
+func runAgentLoop(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration, metricsAddr string, heartbeat time.Duration, reconnect int) error {
+	if reconnect < 0 {
+		return fmt.Errorf("-reconnect must be >= 0, got %d", reconnect)
+	}
+	policy, err := loadPolicy(ra, agentFile, train, seed)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = client.Close() }()
+	var cur atomic.Pointer[edgeslice.AgentClient]
 	if metricsAddr != "" {
 		reg := edgeslice.NewTelemetryRegistry()
-		client.EnableTelemetry(reg)
+		stat := func(read func(edgeslice.AgentStats) uint64) func() uint64 {
+			return func() uint64 {
+				if c := cur.Load(); c != nil {
+					return read(c.Stats())
+				}
+				return 0
+			}
+		}
+		reg.CounterFunc("edgeslice_agent_reports_sent_total",
+			"perf reports sent to the hub",
+			stat(func(s edgeslice.AgentStats) uint64 { return s.ReportsSent }))
+		reg.CounterFunc("edgeslice_agent_coordinations_received_total",
+			"coordination messages received from the hub",
+			stat(func(s edgeslice.AgentStats) uint64 { return s.CoordsReceived }))
+		reg.CounterFunc("edgeslice_agent_heartbeats_sent_total",
+			"heartbeat frames sent to the hub",
+			stat(func(s edgeslice.AgentStats) uint64 { return s.HeartbeatsSent }))
 		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any {
-			return map[string]any{"ra": ra, "coordinator": connect, "stats": client.Stats()}
+			payload := map[string]any{"ra": ra, "coordinator": connect}
+			if c := cur.Load(); c != nil {
+				payload["stats"] = c.Stats()
+			}
+			return payload
 		})
 		if err != nil {
 			return err
@@ -307,10 +433,55 @@ func runAgent(connect string, ra, slices int, agentFile string, train int, seed 
 		defer func() { _ = srv.Close() }()
 		fmt.Printf("RA %d: telemetry on http://%s/metrics\n", ra, srv.Addr())
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			fmt.Printf("RA %d: connection lost (%v), redialing (attempt %d/%d)\n", ra, lastErr, attempt, reconnect)
+		}
+		done, err := runAgentOnce(connect, ra, slices, policy, seed, timeout, heartbeat, &cur)
+		if done {
+			if err != nil {
+				return err
+			}
+			fmt.Printf("RA %d: coordinator finished, shutting down\n", ra)
+			return nil
+		}
+		lastErr = err
+		if attempt >= reconnect {
+			return lastErr
+		}
+	}
+}
+
+// runAgentOnce is one connection's lifetime: fresh env, dial, register,
+// serve until shutdown (done=true) or a connection error (done=false,
+// worth redialing).
+func runAgentOnce(connect string, ra, slices int, policy edgeslice.Agent, seed int64, timeout time.Duration, heartbeat time.Duration, cur *atomic.Pointer[edgeslice.AgentClient]) (done bool, err error) {
+	envCfg := edgeslice.DefaultEnvConfig()
+	if slices != envCfg.NumSlices {
+		return true, fmt.Errorf("daemon presets support %d slices, got %d", envCfg.NumSlices, slices)
+	}
+	envCfg.TrainCoordRandom = false
+	envCfg.Seed = seed + int64(ra)*7919
+	env, err := edgeslice.NewEnv(envCfg)
+	if err != nil {
+		return true, err
+	}
+	env.Reset()
+
+	client, err := edgeslice.DialAgent(connect, ra, timeout)
+	if err != nil {
+		return false, err
+	}
+	cur.Store(client)
+	defer func() { _ = client.Close() }()
+	if heartbeat > 0 {
+		stop := client.StartHeartbeat(heartbeat)
+		defer stop()
+	}
 	fmt.Printf("RA %d: connected to %s\n", ra, connect)
 	if err := edgeslice.RunAgent(client, env, policy, timeout); err != nil {
-		return err
+		return false, err
 	}
-	fmt.Printf("RA %d: coordinator finished, shutting down\n", ra)
-	return nil
+	return true, nil
 }

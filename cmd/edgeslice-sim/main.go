@@ -86,6 +86,7 @@ func run() error {
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		streamWindow = flag.Int("stream-window", 0, "bounded-memory streaming history with this ring window (0 = exact in-memory history)")
 		historyPath  = flag.String("history", "", "on-disk history log: a file in classic mode, a directory (one log per replica) in scenario mode")
+		resume       = flag.Bool("resume", false, "scenario: skip replicas whose -history log already holds the full run (recompute their summaries from the log)")
 	)
 	flag.Parse()
 
@@ -104,11 +105,14 @@ func run() error {
 				return fmt.Errorf("-%s applies to classic mode only; scenarios declare it in the spec", name)
 			}
 		}
+		if *resume && *historyPath == "" {
+			return fmt.Errorf("-resume needs -history: the logs are what the replicas resume from")
+		}
 		return runScenario(*scenarioName, *replicas, *parallel, *seed, flagWasSet("seed"),
 			*warmStart || *ckptDir != "", *ckptDir, *engine, *workers,
-			*metricsAddr, *streamWindow, *historyPath)
+			*metricsAddr, *streamWindow, *historyPath, *resume)
 	}
-	for _, name := range []string{"replicas", "parallel", "warm-start", "ckpt-dir"} {
+	for _, name := range []string{"replicas", "parallel", "warm-start", "ckpt-dir", "resume"} {
 		if flagWasSet(name) {
 			return fmt.Errorf("-%s applies to scenario mode only; pass -scenario to use the replica runner", name)
 		}
@@ -155,7 +159,7 @@ func loadScenario(nameOrFile string) (edgeslice.Scenario, error) {
 	return edgeslice.DecodeScenario(f)
 }
 
-func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir, engine string, workers int, metricsAddr string, streamWindow int, historyDir string) error {
+func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet, warmStart bool, ckptDir, engine string, workers int, metricsAddr string, streamWindow int, historyDir string, resume bool) error {
 	spec, err := loadScenario(nameOrFile)
 	if err != nil {
 		return err
@@ -175,6 +179,7 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 		CheckpointDir: ckptDir,
 		StreamWindow:  streamWindow,
 		HistoryLogDir: historyDir,
+		Resume:        resume,
 		Progress: func(done, total int) {
 			replicasDone.Store(uint64(done))
 			fmt.Fprintf(os.Stderr, "replica %d/%d done\n", done, total)
@@ -207,6 +212,9 @@ func runScenario(nameOrFile string, replicas, parallel int, seed int64, seedSet,
 		return err
 	}
 	fmt.Println()
+	if summary.Resumed > 0 {
+		fmt.Printf("resumed %d replica(s) from history logs\n", summary.Resumed)
+	}
 	return edgeslice.WriteScenarioSummary(os.Stdout, summary)
 }
 

@@ -123,6 +123,8 @@ type (
 	Hub = rcnet.Hub
 	// AgentClient is the orchestration-agent-side endpoint.
 	AgentClient = rcnet.AgentClient
+	// AgentStats is a snapshot of an agent client's lifetime counters.
+	AgentStats = rcnet.AgentStats
 )
 
 // Scenario-engine types (declarative workloads and the parallel runner).
@@ -191,6 +193,14 @@ func CreateHistoryLog(path string, numSlices, numRAs, t int) (*HistoryLog, error
 // complete record before it is recovered.
 func ReplayHistoryLog(path string) (h *History, truncated bool, err error) {
 	return core.ReplayHistoryLogFile(path)
+}
+
+// OpenHistoryLogAppend reopens a history log for a resumed run: it replays
+// the longest whole-period prefix, cuts off the crashed tail, and returns
+// a log that appends in place plus the prefix History (feed it to
+// System.PrimeFromHistory).
+func OpenHistoryLogAppend(path string) (*HistoryLog, *History, error) {
+	return core.OpenHistoryLogAppend(path)
 }
 
 // Experiment types.
@@ -294,6 +304,16 @@ func NewBatchedExecutor(workers int) Executor { return core.NewBatchedExecutor(w
 // shuts the hub down.
 func NewRemoteExecutor(hub *Hub, timeout time.Duration) Executor {
 	return core.NewRemoteExecutor(hub, timeout)
+}
+
+// RemoteOptions tunes the remote engine's fault handling (collect timeout,
+// in-flight period retries against re-registered agents).
+type RemoteOptions = core.RemoteOptions
+
+// NewRemoteExecutorWithOptions returns the distributed engine with explicit
+// fault-handling options.
+func NewRemoteExecutorWithOptions(hub *Hub, opts RemoteOptions) Executor {
+	return core.NewRemoteExecutorWithOptions(hub, opts)
 }
 
 // NewHub starts the coordinator-side RC endpoint on addr.

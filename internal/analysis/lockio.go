@@ -14,10 +14,13 @@ import (
 // the matching mu.Unlock(), or to the end of the function after
 // `defer mu.Unlock()`), the analyzer reports:
 //
-//   - Write/Read/Flush/Set*Deadline calls on conn-like receivers (types
-//     with a SetWriteDeadline method, *os.File, *bufio.Writer) or on io
-//     interfaces whose concrete value is unknown (io.Writer, net.Conn);
-//     in-memory writers (bytes.Buffer, strings.Builder) are exempt
+//   - Write/Read/Close/Flush/Set*Deadline calls on conn-like receivers
+//     (types with a SetWriteDeadline method, *os.File, *bufio.Writer) or
+//     on io interfaces whose concrete value is unknown (io.Writer,
+//     net.Conn, io.Closer); in-memory writers (bytes.Buffer,
+//     strings.Builder) are exempt. Close counts because closing a TCP conn
+//     can block flushing the socket, and a reaper that closes peers under
+//     the registry lock stalls every registration behind one dead peer
 //   - fmt.Fprint*/io.Copy/io.WriteString whose destination is such a type
 //   - channel sends, unless inside a select that has a default clause
 //   - time.Sleep
@@ -32,7 +35,8 @@ var LockIO = &Analyzer{
 }
 
 var blockingMethods = map[string]bool{
-	"Write": true, "WriteString": true, "Read": true, "Flush": true,
+	"Write": true, "WriteString": true, "Read": true, "Close": true,
+	"Flush":       true,
 	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
 }
 
@@ -234,7 +238,7 @@ func blockingIODest(t types.Type) bool {
 	if iface, ok := t.Underlying().(*types.Interface); ok {
 		for i := 0; i < iface.NumMethods(); i++ {
 			switch iface.Method(i).Name() {
-			case "Write", "Read":
+			case "Write", "Read", "Close":
 				return true
 			}
 		}

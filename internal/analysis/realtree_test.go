@@ -74,6 +74,45 @@ func TestMutatedRegistryLosesSortIsFlagged(t *testing.T) {
 	}
 }
 
+// TestMutatedReaperClosesUnderLockIsFlagged guards the liveness reaper's
+// lock discipline: reapOnce collects timed-out conns under the hub lock
+// and closes them after releasing it, because closing a TCP conn can block
+// flushing the socket and would stall every registration and report behind
+// one dead peer. Moving the close loop back under the lock must trip
+// lockio.
+func TestMutatedReaperClosesUnderLockIsFlagged(t *testing.T) {
+	root := moduleRoot(t)
+	target := filepath.Join(root, "internal", "rcnet", "hub.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reapShape = "\th.mu.Unlock()\n\tfor _, st := range victims {\n\t\th.stats.reaped.Add(1)\n\t\t_ = st.conn.Close()\n\t}"
+	if !strings.Contains(string(src), reapShape) {
+		t.Fatalf("expected %s to contain the reapOnce unlock-then-close shape; reapOnce changed — update this test", target)
+	}
+	mutated := strings.Replace(string(src), reapShape,
+		"\tfor _, st := range victims {\n\t\th.stats.reaped.Add(1)\n\t\t_ = st.conn.Close()\n\t}\n\th.mu.Unlock()", 1)
+
+	loader := analysis.NewLoader(root, "edgeslice")
+	loader.Overlay = map[string][]byte{target: []byte(mutated)}
+	pkg, err := loader.Load("edgeslice/internal/rcnet")
+	if err != nil {
+		t.Fatalf("load mutated rcnet package: %v", err)
+	}
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.LockIO})
+	found := false
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "hub.go" &&
+			strings.Contains(d.Message, "Close on") && strings.Contains(d.Message, "h.mu") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lockio missed the reaper closing conns under the hub lock; got %v", diags)
+	}
+}
+
 // TestMutatedForwardLosesWorkspaceIsFlagged is the allocation-side
 // mutation demo: replacing Forward1WS's workspace draw with a heap
 // allocation must trip noalloc.

@@ -15,7 +15,14 @@ type Conn struct{}
 
 func (Conn) Write(b []byte) (int, error)        { return len(b), nil }
 func (Conn) Read(b []byte) (int, error)         { return 0, nil }
+func (Conn) Close() error                       { return nil }
 func (Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Closer is not conn-like: it has no Write/Read/SetWriteDeadline, so its
+// Close is assumed in-memory and exempt.
+type Closer struct{}
+
+func (Closer) Close() error { return nil }
 
 type Hub struct {
 	mu   sync.Mutex
@@ -100,6 +107,36 @@ func (h *Hub) SleepLocked() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	time.Sleep(time.Millisecond) // want `time\.Sleep while holding h\.mu`
+}
+
+// Closing a conn can block flushing the socket: the reaper-under-lock
+// shape, where one dead peer stalls every registration behind the lock.
+func (h *Hub) CloseLocked() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.Close() // want `Close on .*Conn while holding h\.mu`
+}
+
+// Close on a non-conn type is in-memory bookkeeping: exempt.
+func (h *Hub) CloseNonConn(c Closer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.Close()
+}
+
+// An io.Closer's concrete value may be a conn: flagged.
+func (h *Hub) CloseIface(c io.Closer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.Close() // want `Close on io\.Closer while holding h\.mu`
+}
+
+// The fixed shape: collect victims under the lock, close them outside.
+func (h *Hub) CloseUnlocked() {
+	h.mu.Lock()
+	c := h.conn
+	h.mu.Unlock()
+	c.Close()
 }
 
 // The fixed PR-2 shape: snapshot under the lock, write outside it.

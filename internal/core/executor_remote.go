@@ -22,16 +22,44 @@ import (
 // The system therefore does not need to be trained, and determinism
 // versus a local run holds exactly when the remote agents step
 // identically-configured environments with the same policies.
+//
+// With RemoteOptions.RetryPeriods > 0 the executor tolerates agent churn:
+// a collect timeout re-broadcasts the in-flight period only to the RAs
+// whose reports are still missing (re-registered agents replayed the run
+// prefix from their resume frame and are ready for it; survivors that
+// already stepped the period are never asked to step it twice) and keeps
+// the reports that did arrive, so the merged result is bit-identical to an
+// uninterrupted run.
 type RemoteExecutor struct {
-	hub     *rcnet.Hub
-	timeout time.Duration
+	hub  *rcnet.Hub
+	opts RemoteOptions
+}
+
+// RemoteOptions tunes the remote engine's fault handling.
+type RemoteOptions struct {
+	// Timeout bounds each collection attempt for a period's reports.
+	Timeout time.Duration
+	// RetryPeriods is how many extra collection attempts a period gets
+	// after a timeout, each preceded by a re-broadcast to the missing RAs.
+	// 0 preserves the historical fail-fast behavior.
+	RetryPeriods int
 }
 
 // NewRemoteExecutor wraps a live hub; timeout bounds each period's report
 // collection. The executor takes ownership of the session: Close shuts
 // the hub down.
 func NewRemoteExecutor(hub *rcnet.Hub, timeout time.Duration) *RemoteExecutor {
-	return &RemoteExecutor{hub: hub, timeout: timeout}
+	return NewRemoteExecutorWithOptions(hub, RemoteOptions{Timeout: timeout})
+}
+
+// NewRemoteExecutorWithOptions wraps a live hub with explicit fault-handling
+// options. The executor takes ownership of the session: Close shuts the hub
+// down.
+func NewRemoteExecutorWithOptions(hub *rcnet.Hub, opts RemoteOptions) *RemoteExecutor {
+	if opts.RetryPeriods < 0 {
+		opts.RetryPeriods = 0
+	}
+	return &RemoteExecutor{hub: hub, opts: opts}
 }
 
 // Name implements Executor.
@@ -40,7 +68,46 @@ func (e *RemoteExecutor) Name() string { return EngineRemote }
 // Close implements Executor: it shuts down the hub session (idempotent).
 func (e *RemoteExecutor) Close() error { return e.hub.Shutdown() }
 
+// collectPeriod broadcasts period p's coordination grids and collects every
+// RA's report, retrying up to RetryPeriods times on timeout. Each retry
+// re-broadcasts only to the RAs still missing and keeps the partial report
+// set, so agents that already stepped the period are never double-stepped.
+func (e *RemoteExecutor) collectPeriod(s *System, p, J int) ([]rcnet.Envelope, error) {
+	out := make([]rcnet.Envelope, J)
+	got := make([]bool, J)
+	missing := make([]int, J)
+	for j := range missing {
+		missing[j] = j
+	}
+	attempts := e.opts.RetryPeriods + 1
+	for a := 0; a < attempts; a++ {
+		bErr := e.hub.BroadcastTo(p, s.coord.Z(), s.coord.Y(), missing)
+		if bErr != nil && a == attempts-1 {
+			return nil, fmt.Errorf("core: remote period %d: %w", p, bErr)
+		}
+		_, cErr := e.hub.CollectReportsInto(p, e.opts.Timeout, out, got)
+		if cErr == nil {
+			return out, nil
+		}
+		if a == attempts-1 {
+			return nil, fmt.Errorf("core: remote period %d: %w", p, cErr)
+		}
+		missing = missing[:0]
+		for j := 0; j < J; j++ {
+			if !got[j] {
+				missing = append(missing, j)
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: remote period %d: no collection attempts", p)
+}
+
 // RunPeriods implements Executor.
+//
+// Period numbering continues across calls: the first period of this call is
+// the coordinator's current iteration count, so period-at-a-time driving
+// (scenario runner) and resumed runs broadcast globally consistent period
+// ids — which the fault-tolerance protocol relies on for replay and retry.
 //
 // Partial-history contract (mirroring rcnet.RunCoordinator): on failure it
 // returns a non-nil error TOGETHER with the history prefix of every period
@@ -59,13 +126,12 @@ func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
 	}
 	h := s.newRunHistory()
 
-	for p := 0; p < n; p++ {
-		if err := e.hub.Broadcast(p, s.coord.Z(), s.coord.Y()); err != nil {
-			return h, fmt.Errorf("core: remote period %d: %w", p, err)
-		}
-		reports, err := e.hub.CollectReports(p, e.timeout)
+	start := s.coord.Iterations()
+	for k := 0; k < n; k++ {
+		p := start + k
+		reports, err := e.collectPeriod(s, p, J)
 		if err != nil {
-			return h, fmt.Errorf("core: remote period %d: %w", p, err)
+			return h, err
 		}
 		recs := make([][]raInterval, J)
 		perf := make([][]float64, I)
@@ -94,6 +160,7 @@ func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
 		if err := s.finishPeriod(h, perf); err != nil {
 			return h, err
 		}
+		e.hub.FinishPeriod(p)
 	}
 	return h, nil
 }

@@ -182,6 +182,79 @@ func (l *HistoryLog) Sync() error { return l.w.Sync() }
 // Close flushes, syncs, and closes the log.
 func (l *HistoryLog) Close() error { return l.w.Close() }
 
+// parseHistHeader validates a history log's header record and returns the
+// run shape it declares.
+func parseHistHeader(hdr []byte) (I, J, T, K int, err error) {
+	if len(hdr) != 4+5*4 || string(hdr[:4]) != string(histLogMagic[:]) {
+		return 0, 0, 0, 0, fmt.Errorf("core: not a history log (bad header)")
+	}
+	version := binary.LittleEndian.Uint32(hdr[4:8])
+	if version != histLogVersion {
+		return 0, 0, 0, 0, fmt.Errorf("core: history log version %d, this build reads %d", version, histLogVersion)
+	}
+	I = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	J = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	T = int(binary.LittleEndian.Uint32(hdr[16:20]))
+	K = int(binary.LittleEndian.Uint32(hdr[20:24]))
+	if I <= 0 || J <= 0 || T <= 0 || K <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("core: history log header has invalid shape %dx%dxT%d K%d", I, J, T, K)
+	}
+	return I, J, T, K, nil
+}
+
+// applyHistRecord decodes one interval or period record into h.
+func applyHistRecord(h *History, rec []byte, I, J, K int) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("core: empty record in history log")
+	}
+	intervalLen := 1 + 8*(1+I+I*K+1)
+	periodLen := 1 + 8*I*J + I + 16
+	switch rec[0] {
+	case histRecInterval:
+		if len(rec) != intervalLen {
+			return fmt.Errorf("core: interval record of %d bytes, want %d", len(rec), intervalLen)
+		}
+		b := rec[1:]
+		sysPerf := readF64(&b)
+		slicePerf := make([]float64, I)
+		for i := range slicePerf {
+			slicePerf[i] = readF64(&b)
+		}
+		usage := make([][]float64, I)
+		for i := range usage {
+			usage[i] = make([]float64, K)
+			for k := range usage[i] {
+				usage[i][k] = readF64(&b)
+			}
+		}
+		violation := readF64(&b)
+		h.AddInterval(sysPerf, slicePerf, usage, violation)
+	case histRecPeriod:
+		if len(rec) != periodLen {
+			return fmt.Errorf("core: period record of %d bytes, want %d", len(rec), periodLen)
+		}
+		b := rec[1:]
+		perf := make([][]float64, I)
+		for i := range perf {
+			perf[i] = make([]float64, J)
+			for j := range perf[i] {
+				perf[i][j] = readF64(&b)
+			}
+		}
+		sla := make([]bool, I)
+		for i := range sla {
+			sla[i] = b[0] != 0
+			b = b[1:]
+		}
+		primal := readF64(&b)
+		dual := readF64(&b)
+		h.AddPeriod(perf, sla, primal, dual)
+	default:
+		return fmt.Errorf("core: unknown history log record kind %d", rec[0])
+	}
+	return nil
+}
+
 // ReplayHistoryLog reads a history log and reconstructs the exact History
 // it records. truncated reports that the log ended mid-record (a crashed
 // writer) — every complete record before the partial tail is recovered.
@@ -194,24 +267,11 @@ func ReplayHistoryLog(r io.Reader) (h *History, truncated bool, err error) {
 		}
 		return nil, false, fmt.Errorf("core: empty history log: %w", err)
 	}
-	if len(hdr) != 4+5*4 || string(hdr[:4]) != string(histLogMagic[:]) {
-		return nil, false, fmt.Errorf("core: not a history log (bad header)")
-	}
-	version := binary.LittleEndian.Uint32(hdr[4:8])
-	if version != histLogVersion {
-		return nil, false, fmt.Errorf("core: history log version %d, this build reads %d", version, histLogVersion)
-	}
-	I := int(binary.LittleEndian.Uint32(hdr[8:12]))
-	J := int(binary.LittleEndian.Uint32(hdr[12:16]))
-	T := int(binary.LittleEndian.Uint32(hdr[16:20]))
-	K := int(binary.LittleEndian.Uint32(hdr[20:24]))
-	if I <= 0 || J <= 0 || T <= 0 || K <= 0 {
-		return nil, false, fmt.Errorf("core: history log header has invalid shape %dx%dxT%d K%d", I, J, T, K)
+	I, J, T, K, err := parseHistHeader(hdr)
+	if err != nil {
+		return nil, false, err
 	}
 	h = NewHistory(I, J, T)
-
-	intervalLen := 1 + 8*(1+I+I*K+1)
-	periodLen := 1 + 8*I*J + I + 16
 	for {
 		rec, err := lr.Next()
 		if err == io.EOF {
@@ -223,53 +283,75 @@ func ReplayHistoryLog(r io.Reader) (h *History, truncated bool, err error) {
 		if err != nil {
 			return h, false, err
 		}
-		if len(rec) == 0 {
-			return h, false, fmt.Errorf("core: empty record in history log")
-		}
-		switch rec[0] {
-		case histRecInterval:
-			if len(rec) != intervalLen {
-				return h, false, fmt.Errorf("core: interval record of %d bytes, want %d", len(rec), intervalLen)
-			}
-			b := rec[1:]
-			sysPerf := readF64(&b)
-			slicePerf := make([]float64, I)
-			for i := range slicePerf {
-				slicePerf[i] = readF64(&b)
-			}
-			usage := make([][]float64, I)
-			for i := range usage {
-				usage[i] = make([]float64, K)
-				for k := range usage[i] {
-					usage[i][k] = readF64(&b)
-				}
-			}
-			violation := readF64(&b)
-			h.AddInterval(sysPerf, slicePerf, usage, violation)
-		case histRecPeriod:
-			if len(rec) != periodLen {
-				return h, false, fmt.Errorf("core: period record of %d bytes, want %d", len(rec), periodLen)
-			}
-			b := rec[1:]
-			perf := make([][]float64, I)
-			for i := range perf {
-				perf[i] = make([]float64, J)
-				for j := range perf[i] {
-					perf[i][j] = readF64(&b)
-				}
-			}
-			sla := make([]bool, I)
-			for i := range sla {
-				sla[i] = b[0] != 0
-				b = b[1:]
-			}
-			primal := readF64(&b)
-			dual := readF64(&b)
-			h.AddPeriod(perf, sla, primal, dual)
-		default:
-			return h, false, fmt.Errorf("core: unknown history log record kind %d", rec[0])
+		if err := applyHistRecord(h, rec, I, J, K); err != nil {
+			return h, false, err
 		}
 	}
+}
+
+// OpenHistoryLogAppend reopens an existing history log for a resumed run:
+// it replays the longest prefix that ends on a whole completed period
+// (interval count = periods × T), cuts off everything after it — a crashed
+// coordinator leaves the in-flight period's intervals and possibly a
+// partial record at the tail — and returns a HistoryLog that appends in
+// place from the cut, plus the exact History of the kept prefix (feed it
+// to System.PrimeFromHistory). No new header is written; the continued log
+// replays as one seamless run.
+func OpenHistoryLogAppend(path string) (*HistoryLog, *History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	lr := telemetry.NewLogReader(f)
+	offset := int64(0)
+	hdr, err := lr.Next()
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("core: resume history log: unreadable header: %w", err)
+	}
+	offset += telemetry.RecordHeaderBytes + int64(len(hdr))
+	I, J, T, K, err := parseHistHeader(hdr)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	if K != histLogNumResources {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("core: history log records %d resource domains, this build appends %d", K, histLogNumResources)
+	}
+	h := NewHistory(I, J, T)
+	// Track the last offset at which the log was a whole number of
+	// completed periods; that is where appending resumes.
+	cutOffset := offset
+	cutIntervals, cutPeriods := 0, 0
+	for {
+		rec, err := lr.Next()
+		if err == io.EOF || err == telemetry.ErrTruncated {
+			break
+		}
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("core: resume history log: %w", err)
+		}
+		if err := applyHistRecord(h, rec, I, J, K); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("core: resume history log: %w", err)
+		}
+		offset += telemetry.RecordHeaderBytes + int64(len(rec))
+		if h.Periods()*T == h.Intervals() && h.Periods() > cutPeriods {
+			cutOffset = offset
+			cutIntervals, cutPeriods = h.Intervals(), h.Periods()
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, nil, fmt.Errorf("core: resume history log: %w", err)
+	}
+	h.truncateTo(cutIntervals, cutPeriods)
+	w, err := telemetry.ResumeLog(path, cutOffset)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &HistoryLog{w: w, numSlices: I, numRAs: J, periodT: T}, h, nil
 }
 
 // ReplayHistoryLogFile replays a history log from disk.

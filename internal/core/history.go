@@ -98,6 +98,25 @@ func NewStreamingHistory(numSlices, numRAs, t, window int) *History {
 // Streaming reports whether the history records in streaming mode.
 func (h *History) Streaming() bool { return h.stream != nil }
 
+// truncateTo discards exact-mode records past the first nIntervals
+// intervals and nPeriods periods — the resume path uses it to cut a
+// crashed run's log back to its last whole period.
+func (h *History) truncateTo(nIntervals, nPeriods int) {
+	if h.Streaming() || nIntervals > len(h.SystemPerf) || nPeriods > len(h.PeriodPerf) {
+		return
+	}
+	h.SystemPerf = h.SystemPerf[:nIntervals]
+	for i := range h.SlicePerf {
+		h.SlicePerf[i] = h.SlicePerf[i][:nIntervals]
+	}
+	h.Usage = h.Usage[:nIntervals]
+	h.Violations = h.Violations[:nIntervals]
+	h.PeriodPerf = h.PeriodPerf[:nPeriods]
+	h.SLAMet = h.SLAMet[:nPeriods]
+	h.Primal = h.Primal[:nPeriods]
+	h.Dual = h.Dual[:nPeriods]
+}
+
 // StreamWindow returns the ring capacity of streaming mode (0 in exact
 // mode).
 func (h *History) StreamWindow() int {

@@ -55,6 +55,11 @@ type SystemHealth struct {
 	SLAMet         []bool  `json:"sla_met,omitempty"`
 	Streaming      bool    `json:"streaming"`
 	StreamWindow   int     `json:"stream_window,omitempty"`
+	// Agent liveness of a remote coordinator (System.SetLiveness, wired to
+	// rcnet.Hub.Liveness by the daemon). Omitted for local engines.
+	AgentsLive       int `json:"agents_live,omitempty"`
+	AgentsRegistered int `json:"agents_registered,omitempty"`
+	AgentsExpected   int `json:"agents_expected,omitempty"`
 }
 
 // SetRecording configures history recording for subsequent RunPeriods
@@ -146,7 +151,17 @@ func (s *System) Health() SystemHealth {
 		h.SLAMet = append([]bool(nil), s.stats.lastSLA...)
 	}
 	s.stats.mu.Unlock()
+	if s.liveness != nil {
+		h.AgentsLive, h.AgentsRegistered, h.AgentsExpected = s.liveness()
+	}
 	return h
+}
+
+// SetLiveness installs the agent-liveness probe Health reports (a remote
+// coordinator wires rcnet.Hub.Liveness here). Call before the health
+// endpoint starts serving; nil clears it.
+func (s *System) SetLiveness(fn func() (live, registered, expected int)) {
+	s.liveness = fn
 }
 
 // EnableTelemetry exports the system's run counters and coordinator state

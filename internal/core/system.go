@@ -182,6 +182,10 @@ type System struct {
 	rec   RecordOptions
 	stats runStats
 
+	// liveness, when set (SetLiveness), lets Health report remote-agent
+	// liveness alongside run progress.
+	liveness func() (live, registered, expected int)
+
 	// monNames caches monitor metric names, indexed (ra·I+slice)·2+kind —
 	// formatting them per sample is four Sprintfs per RA-interval, which is
 	// measurable at hundreds of RAs. Built lazily by monMetricName; only

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -12,11 +13,17 @@ func newReader(conn net.Conn) *bufio.Reader {
 	return bufio.NewReaderSize(conn, 64*1024)
 }
 
-// AgentClient is the orchestration-agent side of the RC-L interface.
+// AgentClient is the orchestration-agent side of the RC-L interface. The
+// write mutex serializes Report frames against the heartbeat goroutine
+// (StartHeartbeat), so the two writers can never interleave mid-frame.
 type AgentClient struct {
 	ra   int
 	conn net.Conn
 	br   *bufio.Reader
+
+	wmu sync.Mutex // serializes all writes to conn
+
+	hbStop func() // set by StartHeartbeat; safe to call more than once
 
 	stats agentStats
 }
@@ -25,7 +32,10 @@ type AgentClient struct {
 // session.
 var ErrShutdown = errors.New("rcnet: coordinator shut down")
 
-// DialAgent connects to the hub and registers as the given RA.
+// DialAgent connects to the hub and registers as the given RA. The timeout
+// bounds the whole handshake: both the TCP dial and the register-frame
+// write (a hub with a wedged accept queue can otherwise absorb the
+// connection but never drain the socket, blocking the write forever).
 func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error) {
 	if ra < 0 {
 		return nil, fmt.Errorf("rcnet: negative RA id %d", ra)
@@ -34,35 +44,59 @@ func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error)
 	if err != nil {
 		return nil, fmt.Errorf("rcnet: dial %s: %w", addr, err)
 	}
+	_ = conn.SetWriteDeadline(deadline(conn, timeout))
 	if err := writeMsg(conn, Envelope{Type: MsgRegister, RA: ra}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
+	// Clear the handshake deadline: later writes (reports, heartbeats)
+	// manage their own.
+	_ = conn.SetWriteDeadline(time.Time{})
 	return &AgentClient{ra: ra, conn: conn, br: newReader(conn)}, nil
 }
 
 // RA returns this client's resource-autonomy id.
 func (c *AgentClient) RA() int { return c.ra }
 
-// RecvCoordination blocks for the next coordination message. It returns
-// ErrShutdown when the hub ends the session.
-func (c *AgentClient) RecvCoordination(timeout time.Duration) (period int, z, y []float64, err error) {
+// Recv blocks for the next frame from the hub, skipping frame types an
+// agent never receives. Callers dispatch on the envelope's Type:
+// MsgCoordination, MsgResume, or MsgShutdown.
+func (c *AgentClient) Recv(timeout time.Duration) (Envelope, error) {
 	if err := c.conn.SetReadDeadline(deadline(c.conn, timeout)); err != nil {
-		return 0, nil, nil, fmt.Errorf("rcnet: set deadline: %w", err)
+		return Envelope{}, fmt.Errorf("rcnet: set deadline: %w", err)
 	}
 	for {
 		m, err := readMsg(c.br)
 		if err != nil {
-			return 0, nil, nil, fmt.Errorf("rcnet: recv coordination: %w", err)
+			return Envelope{}, fmt.Errorf("rcnet: recv: %w", err)
+		}
+		switch m.Type {
+		case MsgShutdown, MsgResume:
+			return m, nil
+		case MsgCoordination:
+			c.stats.coordsReceived.Add(1)
+			return m, nil
+		default:
+			// Ignore unexpected frames and keep waiting.
+		}
+	}
+}
+
+// RecvCoordination blocks for the next coordination message. It returns
+// ErrShutdown when the hub ends the session. Resume frames are skipped:
+// callers that participate in mid-run re-registration should use Recv (or
+// RunAgent, which handles the replay).
+func (c *AgentClient) RecvCoordination(timeout time.Duration) (period int, z, y []float64, err error) {
+	for {
+		m, err := c.Recv(timeout)
+		if err != nil {
+			return 0, nil, nil, err
 		}
 		switch m.Type {
 		case MsgShutdown:
 			return 0, nil, nil, ErrShutdown
 		case MsgCoordination:
-			c.stats.coordsReceived.Add(1)
 			return m.Period, m.Z, m.Y, nil
-		default:
-			// Ignore unexpected frames and keep waiting.
 		}
 	}
 }
@@ -78,15 +112,67 @@ func (c *AgentClient) ReportPerf(period int, perf []float64, queues []int) error
 // History (see IntervalRecord). intervals may be nil for the legacy
 // summary-only report.
 func (c *AgentClient) Report(period int, perf []float64, queues []int, intervals []IntervalRecord) error {
+	c.wmu.Lock()
+	//edgeslice:lockio wmu only serializes this client's two writers (report vs heartbeat) on its own conn; blocking here blocks nobody else
 	err := writeMsg(c.conn, Envelope{
 		Type: MsgPerfReport, RA: c.ra, Period: period, Perf: perf, Queues: queues,
 		Intervals: intervals,
 	})
+	c.wmu.Unlock()
 	if err == nil {
 		c.stats.reportsSent.Add(1)
 	}
 	return err
 }
 
-// Close closes the connection.
-func (c *AgentClient) Close() error { return c.conn.Close() }
+// StartHeartbeat launches a goroutine that writes a heartbeat frame every
+// interval so a hub with liveness enabled (Hub.SetLiveness) can tell a
+// slow-computing agent from a dead one. Pick an interval comfortably below
+// the hub's liveness timeout (the daemon uses timeout = 4×interval). The
+// goroutine exits on the first write error (the next Report will surface
+// the broken conn) or when stopped; call the returned stop function — or
+// Close, which stops it too — before discarding the client.
+func (c *AgentClient) StartHeartbeat(interval time.Duration) (stop func()) {
+	if interval <= 0 || c.hbStop != nil {
+		return func() {}
+	}
+	stopC := make(chan struct{})
+	doneC := make(chan struct{})
+	go func() {
+		defer close(doneC)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopC:
+				return
+			case <-ticker.C:
+			}
+			c.wmu.Lock()
+			//edgeslice:lockio wmu only serializes this client's two writers on its own conn, and the write is deadline-bounded
+			_ = c.conn.SetWriteDeadline(deadline(c.conn, interval))
+			err := writeMsg(c.conn, Envelope{Type: MsgHeartbeat, RA: c.ra})
+			//edgeslice:lockio clearing the deadline cannot block; it must happen before Report writes under the same lock
+			_ = c.conn.SetWriteDeadline(time.Time{})
+			c.wmu.Unlock()
+			if err != nil {
+				return
+			}
+			c.stats.heartbeatsSent.Add(1)
+		}
+	}()
+	var once sync.Once
+	c.hbStop = func() {
+		once.Do(func() { close(stopC) })
+		<-doneC
+	}
+	return c.hbStop
+}
+
+// Close stops the heartbeat goroutine (if any) and closes the connection.
+func (c *AgentClient) Close() error {
+	if c.hbStop != nil {
+		c.hbStop()
+	}
+	return c.conn.Close()
+}

@@ -5,8 +5,31 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// connState is the hub's per-connection bookkeeping. The write mutex
+// serializes every hub-side frame written to the conn (broadcast, resume,
+// shutdown notify), so frames from different hub goroutines can never
+// interleave mid-line; lastSeen is refreshed on every frame read from the
+// peer and drives the liveness reaper.
+type connState struct {
+	conn     net.Conn
+	wmu      sync.Mutex
+	lastSeen atomic.Int64 // monotonic-ish unix nanos of the last frame read
+}
+
+// send writes one frame under the connection's write mutex with a write
+// deadline. The deadline is deliberately not cleared afterwards: every
+// writer sets its own before writing.
+func (st *connState) send(e Envelope, timeout time.Duration) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	//edgeslice:lockio wmu only serializes this conn's writers and the write is deadline-bounded; a stalled peer delays its own frames, nobody else's
+	_ = st.conn.SetWriteDeadline(deadline(st.conn, timeout))
+	return writeMsg(st.conn, e)
+}
 
 // Hub is the coordinator-side endpoint: it accepts agent registrations,
 // broadcasts coordinating information, and collects per-period performance
@@ -17,6 +40,14 @@ import (
 // across a network write, so one stalled agent cannot head-of-line block
 // the round for healthy RAs or deadlock dropConn/Shutdown. A connection
 // that misses its write deadline is dropped; the agent must re-register.
+//
+// The hub survives agent churn: a re-registering RA supersedes its stale
+// connection (the old conn is closed, the new one installed) and receives
+// a MsgResume frame with its coordination columns for every period
+// broadcast so far, letting a restarted agent replay the completed prefix
+// and rejoin mid-run. With SetLiveness enabled the hub also reaps
+// connections that go silent (no frames, no heartbeats) instead of
+// waiting for the next broadcast write timeout.
 type Hub struct {
 	ln        net.Listener
 	numSlices int
@@ -25,10 +56,21 @@ type Hub struct {
 	writeTimeout time.Duration
 
 	mu       sync.Mutex
-	conns    map[int]net.Conn      // registered RA -> connection
-	live     map[net.Conn]struct{} // every accepted conn, incl. pre-registration
-	seenRAs  map[int]bool          // RAs that registered at least once (reconnect detection)
-	shutdown bool                  // no new conns are tracked once set
+	conns    map[int]*connState      // registered RA -> connection state
+	live     map[net.Conn]*connState // every accepted conn, incl. pre-registration
+	seenRAs  map[int]bool            // RAs that registered at least once (reconnect detection)
+	shutdown bool                    // no new conns are tracked once set
+
+	// Fault-tolerance state, all guarded by mu: the coordination columns
+	// broadcast per period (the resume payload for re-registering agents),
+	// the number of periods the executor has fully finished, and the last
+	// period each RA delivered a report for. A re-registering RA j must
+	// replay max(completed, lastReported[j]+1) periods before going live.
+	zLog, yLog   [][][]float64 // [period][slice][ra]
+	completed    int
+	lastReported map[int]int
+
+	liveTimeout time.Duration // 0: liveness reaping disabled
 
 	stats hubStats
 
@@ -36,6 +78,7 @@ type Hub struct {
 	registered chan int
 	acceptWG   sync.WaitGroup
 	readerWG   sync.WaitGroup
+	reaperWG   sync.WaitGroup
 	closed     chan struct{}
 	closeOnce  sync.Once
 }
@@ -55,9 +98,10 @@ func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 		numSlices:    numSlices,
 		numRAs:       numRAs,
 		writeTimeout: defaultWriteTimeout,
-		conns:        make(map[int]net.Conn, numRAs),
-		live:         make(map[net.Conn]struct{}, numRAs),
+		conns:        make(map[int]*connState, numRAs),
+		live:         make(map[net.Conn]*connState, numRAs),
 		seenRAs:      make(map[int]bool, numRAs),
+		lastReported: make(map[int]int, numRAs),
 		reports:      make(chan Envelope, numRAs),
 		registered:   make(chan int, numRAs),
 		closed:       make(chan struct{}),
@@ -86,6 +130,89 @@ func (h *Hub) NumRAs() int { return h.numRAs }
 // Broadcast.
 func (h *Hub) SetWriteTimeout(d time.Duration) { h.writeTimeout = d }
 
+// SetLiveness enables proactive liveness reaping: a connection that
+// delivers no frame (reports or heartbeats) for longer than timeout is
+// closed, which drives the normal drop/re-register path immediately
+// instead of waiting for the next broadcast to hit its write deadline.
+// Only enable it when the agents send heartbeats (AgentClient
+// StartHeartbeat) at a comfortably shorter interval — an agent that is
+// silently computing a long period would otherwise be reaped mid-work.
+// Call before agents connect; idempotent per hub.
+func (h *Hub) SetLiveness(timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	h.mu.Lock()
+	start := h.liveTimeout == 0 && !h.shutdown
+	h.liveTimeout = timeout
+	h.mu.Unlock()
+	if start {
+		h.reaperWG.Add(1)
+		go h.reapLoop()
+	}
+}
+
+// Liveness reports the hub's agent liveness: how many registered RAs
+// delivered a frame within the liveness window (all of them when liveness
+// reaping is disabled), how many are registered at all, and how many the
+// hub expects.
+func (h *Hub) Liveness() (liveRAs, registeredRAs, expected int) {
+	now := time.Now().UnixNano()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	registeredRAs = len(h.conns)
+	if h.liveTimeout <= 0 {
+		return registeredRAs, registeredRAs, h.numRAs
+	}
+	for _, st := range h.conns {
+		if now-st.lastSeen.Load() <= int64(h.liveTimeout) {
+			liveRAs++
+		}
+	}
+	return liveRAs, registeredRAs, h.numRAs
+}
+
+// reapLoop periodically closes connections whose peers went silent. The
+// scan interval divides the liveness timeout so a dead conn is reaped at
+// most ~1.25 timeouts after its last frame.
+func (h *Hub) reapLoop() {
+	defer h.reaperWG.Done()
+	h.mu.Lock()
+	interval := h.liveTimeout / 4
+	h.mu.Unlock()
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.closed:
+			return
+		case <-ticker.C:
+			h.reapOnce(time.Now().UnixNano())
+		}
+	}
+}
+
+// reapOnce collects the silent connections under the lock and closes them
+// outside it; closing unblocks each conn's reader goroutine, which runs
+// the usual dropConn path.
+func (h *Hub) reapOnce(now int64) {
+	h.mu.Lock()
+	var victims []*connState
+	for _, st := range h.live {
+		if now-st.lastSeen.Load() > int64(h.liveTimeout) {
+			victims = append(victims, st)
+		}
+	}
+	h.mu.Unlock()
+	for _, st := range victims {
+		h.stats.reaped.Add(1)
+		_ = st.conn.Close()
+	}
+}
+
 func (h *Hub) acceptLoop() {
 	defer h.acceptWG.Done()
 	for {
@@ -98,9 +225,42 @@ func (h *Hub) acceptLoop() {
 	}
 }
 
+// resumeFrameLocked builds RA ra's catch-up frame: the first period it must
+// execute live and its coordination columns for every earlier period. A
+// re-registering RA whose report for the in-flight period was already
+// collected must replay through that period too (the executor will not
+// re-broadcast it), hence the lastReported term.
+func (h *Hub) resumeFrameLocked(ra int) Envelope {
+	catchUp := h.completed
+	if last, ok := h.lastReported[ra]; ok && last+1 > catchUp {
+		catchUp = last + 1
+	}
+	if catchUp > len(h.zLog) {
+		catchUp = len(h.zLog) // defensive: never promise columns we don't hold
+	}
+	e := Envelope{Type: MsgResume, RA: ra, Period: catchUp}
+	if catchUp > 0 {
+		e.ZHist = make([][]float64, catchUp)
+		e.YHist = make([][]float64, catchUp)
+		for p := 0; p < catchUp; p++ {
+			zCol := make([]float64, h.numSlices)
+			yCol := make([]float64, h.numSlices)
+			for i := 0; i < h.numSlices; i++ {
+				zCol[i] = h.zLog[p][i][ra]
+				yCol[i] = h.yLog[p][i][ra]
+			}
+			e.ZHist[p] = zCol
+			e.YHist[p] = yCol
+		}
+	}
+	return e
+}
+
 // handleConn performs registration then pumps reports into the channel.
 func (h *Hub) handleConn(conn net.Conn) {
 	defer h.readerWG.Done()
+	st := &connState{conn: conn}
+	st.lastSeen.Store(time.Now().UnixNano())
 	// Track the connection before any blocking read so Shutdown can close
 	// it and unblock this goroutine even if the peer stalls mid-register.
 	h.mu.Lock()
@@ -109,7 +269,7 @@ func (h *Hub) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	h.live[conn] = struct{}{}
+	h.live[conn] = st
 	h.mu.Unlock()
 	defer func() {
 		h.mu.Lock()
@@ -122,16 +282,50 @@ func (h *Hub) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	st.lastSeen.Store(time.Now().UnixNano())
+
+	// Registration is a two-step handshake so the resume frame is on the
+	// wire before the conn becomes broadcastable: (1) snapshot the catch-up
+	// state, (2) write the resume frame outside the lock, (3) re-take the
+	// lock, verify the snapshot is still current, and install the conn. If
+	// a period completed between (1) and (3) the snapshot is stale — the
+	// conn is closed and the agent redials into a clean handshake. Without
+	// the ordering, the executor could broadcast the in-flight period to
+	// the new conn before its resume frame, and the agent would step it
+	// against an un-replayed environment.
 	h.mu.Lock()
-	if _, dup := h.conns[msg.RA]; dup {
+	resume := h.resumeFrameLocked(msg.RA)
+	h.mu.Unlock()
+	if resume.Period > 0 {
+		if err := st.send(resume, h.writeTimeout); err != nil {
+			_ = conn.Close()
+			return
+		}
+		h.stats.resumesSent.Add(1)
+	}
+	h.mu.Lock()
+	if h.shutdown {
 		h.mu.Unlock()
-		_ = conn.Close() // duplicate registration is rejected
+		_ = conn.Close()
 		return
 	}
-	h.conns[msg.RA] = conn
+	if again := h.resumeFrameLocked(msg.RA); again.Period != resume.Period {
+		h.mu.Unlock()
+		_ = conn.Close() // raced with a period completing; agent must redial
+		return
+	}
+	// Re-registration supersedes: the stale conn (a half-dead socket the
+	// hub has not noticed yet) is replaced immediately instead of locking
+	// the returning agent out until the next broadcast write timeout.
+	old := h.conns[msg.RA]
+	h.conns[msg.RA] = st
 	reconnect := h.seenRAs[msg.RA]
 	h.seenRAs[msg.RA] = true
 	h.mu.Unlock()
+	if old != nil && old.conn != conn {
+		h.stats.superseded.Add(1)
+		_ = old.conn.Close()
+	}
 	h.stats.registrations.Add(1)
 	if reconnect {
 		h.stats.reconnects.Add(1)
@@ -159,24 +353,34 @@ func (h *Hub) handleConn(conn net.Conn) {
 	for {
 		m, err := readMsg(br)
 		if err != nil {
-			h.dropConn(msg.RA, conn)
+			h.dropConn(msg.RA, st)
 			return
 		}
-		if m.Type != MsgPerfReport {
-			continue // ignore unexpected frames
-		}
-		h.stats.reportsReceived.Add(1)
-		select {
-		case h.reports <- m:
-		case <-h.closed:
-			return
+		st.lastSeen.Store(time.Now().UnixNano())
+		switch m.Type {
+		case MsgPerfReport:
+			h.stats.reportsReceived.Add(1)
+			h.mu.Lock()
+			if last, ok := h.lastReported[m.RA]; !ok || m.Period > last {
+				h.lastReported[m.RA] = m.Period
+			}
+			h.mu.Unlock()
+			select {
+			case h.reports <- m:
+			case <-h.closed:
+				return
+			}
+		case MsgHeartbeat:
+			h.stats.heartbeats.Add(1)
+		default:
+			// Ignore unexpected frames.
 		}
 	}
 }
 
-func (h *Hub) dropConn(ra int, conn net.Conn) {
+func (h *Hub) dropConn(ra int, st *connState) {
 	h.mu.Lock()
-	dropped := h.conns[ra] == conn
+	dropped := h.conns[ra] == st
 	if dropped {
 		delete(h.conns, ra)
 	}
@@ -184,7 +388,7 @@ func (h *Hub) dropConn(ra int, conn net.Conn) {
 	if dropped {
 		h.stats.connsDropped.Add(1)
 	}
-	_ = conn.Close()
+	_ = st.conn.Close()
 }
 
 // WaitRegistered blocks until every RA is simultaneously registered or the
@@ -206,11 +410,89 @@ func (h *Hub) WaitRegistered(timeout time.Duration) error {
 		case <-h.registered:
 		case <-ticker.C:
 		case <-deadlineC:
+			// Recount under the lock: registrations that landed during the
+			// final wait must not be misreported as missing.
+			h.mu.Lock()
+			n = len(h.conns)
+			h.mu.Unlock()
+			if n >= h.numRAs {
+				return nil
+			}
 			return fmt.Errorf("rcnet: %d/%d agents registered before timeout", n, h.numRAs)
 		case <-h.closed:
 			return errors.New("rcnet: hub closed")
 		}
 	}
+}
+
+// recordCoordination remembers the period's full (Z, Y) grids so later
+// re-registrations can be handed the replay history. Retried broadcasts of
+// an already-recorded period are no-ops; the grids of a period never
+// change between attempts (the ADMM update only runs after collection).
+func (h *Hub) recordCoordination(period int, z, y [][]float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if period != len(h.zLog) {
+		return // retry of a recorded period, or a legacy driver reusing numbers
+	}
+	h.zLog = append(h.zLog, copyGrid(z))
+	h.yLog = append(h.yLog, copyGrid(y))
+}
+
+func copyGrid(g [][]float64) [][]float64 {
+	out := make([][]float64, len(g))
+	for i, row := range g {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// FinishPeriod marks period p fully completed (collected, merged, and
+// ADMM-updated): re-registering agents must replay through it. The remote
+// execution engine calls it after every period.
+func (h *Hub) FinishPeriod(p int) {
+	h.mu.Lock()
+	if p+1 > h.completed {
+		h.completed = p + 1
+	}
+	h.mu.Unlock()
+}
+
+// PrimeResume seeds the hub with the coordination history of a previous
+// run segment — periods fully completed before a coordinator restart, with
+// zs/ys the [period][slice][ra] grids that produced them — so agents
+// registering into the resumed run receive the full replay. It must be
+// called before any agent registers.
+func (h *Hub) PrimeResume(periods int, zs, ys [][][]float64) error {
+	if periods < 0 || len(zs) != periods || len(ys) != periods {
+		return fmt.Errorf("rcnet: prime resume with %d periods but %d/%d grids", periods, len(zs), len(ys))
+	}
+	for p := 0; p < periods; p++ {
+		if len(zs[p]) != h.numSlices || len(ys[p]) != h.numSlices {
+			return fmt.Errorf("rcnet: prime resume period %d has %d/%d slices, want %d", p, len(zs[p]), len(ys[p]), h.numSlices)
+		}
+		for i := 0; i < h.numSlices; i++ {
+			if len(zs[p][i]) != h.numRAs || len(ys[p][i]) != h.numRAs {
+				return fmt.Errorf("rcnet: prime resume period %d slice %d has %d/%d RAs, want %d", p, i, len(zs[p][i]), len(ys[p][i]), h.numRAs)
+			}
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.seenRAs) > 0 {
+		return errors.New("rcnet: prime resume after an agent registered; prime immediately after NewHub")
+	}
+	if h.completed != 0 || len(h.zLog) != 0 {
+		return errors.New("rcnet: hub already holds coordination history")
+	}
+	h.completed = periods
+	h.zLog = make([][][]float64, periods)
+	h.yLog = make([][][]float64, periods)
+	for p := 0; p < periods; p++ {
+		h.zLog[p] = copyGrid(zs[p])
+		h.yLog[p] = copyGrid(ys[p])
+	}
+	return nil
 }
 
 // Broadcast sends each RA its coordination column for the period. z and y
@@ -224,39 +506,70 @@ func (h *Hub) WaitRegistered(timeout time.Duration) error {
 // coordination. Broadcast is intended to be called from a single
 // coordinator loop, not concurrently.
 func (h *Hub) Broadcast(period int, z, y [][]float64) error {
-	if len(z) != h.numSlices || len(y) != h.numSlices {
-		return fmt.Errorf("rcnet: coordination grids have %d/%d slices, want %d", len(z), len(y), h.numSlices)
-	}
-	conns := make([]net.Conn, h.numRAs)
+	// Fail fast before writing anything when an RA is missing: the legacy
+	// driver treats a partial round as fatal, and healthy agents must not
+	// receive a round the caller will abandon.
 	h.mu.Lock()
 	for ra := 0; ra < h.numRAs; ra++ {
-		conn, ok := h.conns[ra]
-		if !ok {
+		if _, ok := h.conns[ra]; !ok {
 			h.mu.Unlock()
 			return fmt.Errorf("rcnet: RA %d not connected", ra)
 		}
-		conns[ra] = conn
+	}
+	h.mu.Unlock()
+	ras := make([]int, h.numRAs)
+	for ra := range ras {
+		ras[ra] = ra
+	}
+	return h.BroadcastTo(period, z, y, ras)
+}
+
+// BroadcastTo sends the period's coordination columns to a subset of RAs —
+// the retry path re-broadcasts an in-flight period only to the RAs whose
+// reports are still missing, so agents that already stepped it are never
+// asked to step it twice. An RA that is not currently registered, or whose
+// write fails, contributes to the returned error; the others still receive
+// their columns.
+func (h *Hub) BroadcastTo(period int, z, y [][]float64, ras []int) error {
+	if len(z) != h.numSlices || len(y) != h.numSlices {
+		return fmt.Errorf("rcnet: coordination grids have %d/%d slices, want %d", len(z), len(y), h.numSlices)
+	}
+	h.recordCoordination(period, z, y)
+	states := make([]*connState, len(ras))
+	var firstErr error
+	h.mu.Lock()
+	for k, ra := range ras {
+		if ra < 0 || ra >= h.numRAs {
+			h.mu.Unlock()
+			return fmt.Errorf("rcnet: broadcast to invalid RA %d", ra)
+		}
+		st, ok := h.conns[ra]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rcnet: RA %d not connected", ra)
+			}
+			continue
+		}
+		states[k] = st
 	}
 	h.mu.Unlock()
 
-	var firstErr error
-	for ra, conn := range conns {
+	for k, st := range states {
+		if st == nil {
+			continue
+		}
+		ra := ras[k]
 		zCol := make([]float64, h.numSlices)
 		yCol := make([]float64, h.numSlices)
 		for i := 0; i < h.numSlices; i++ {
 			zCol[i] = z[i][ra]
 			yCol[i] = y[i][ra]
 		}
-		// The deadline is deliberately not cleared afterwards: every writer
-		// (Broadcast, Shutdown) sets its own before writing, and clearing
-		// it here would race with a concurrent Shutdown's deadline on the
-		// same conn, un-bounding its shutdown notification.
-		_ = conn.SetWriteDeadline(deadline(conn, h.writeTimeout))
-		err := writeMsg(conn, Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol})
+		err := st.send(Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol}, h.writeTimeout)
 		if err != nil {
 			// Drop the stalled/broken connection so the next round fails
 			// fast ("not connected") instead of stalling again.
-			h.dropConn(ra, conn)
+			h.dropConn(ra, st)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("rcnet: broadcast to RA %d: %w", ra, err)
 			}
@@ -291,9 +604,32 @@ func (h *Hub) Collect(period int, timeout time.Duration) ([][]float64, error) {
 // rebuild the same History a local run records.
 func (h *Hub) CollectReports(period int, timeout time.Duration) ([]Envelope, error) {
 	out := make([]Envelope, h.numRAs)
-	got := make(map[int]bool, h.numRAs)
+	got := make([]bool, h.numRAs)
+	if _, err := h.CollectReportsInto(period, timeout, out, got); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectReportsInto is the resumable form of CollectReports: out and got
+// persist partial progress across collection attempts, so a retried period
+// keeps the reports that already arrived and waits only for the missing
+// RAs. It returns how many RAs have reported in total (across this and
+// previous attempts); a nil error means all of them. Reports for other
+// periods, duplicates, and reports from out-of-range RAs are discarded and
+// counted in the stats.
+func (h *Hub) CollectReportsInto(period int, timeout time.Duration, out []Envelope, got []bool) (int, error) {
+	if len(out) != h.numRAs || len(got) != h.numRAs {
+		return 0, fmt.Errorf("rcnet: collect buffers sized %d/%d, want %d", len(out), len(got), h.numRAs)
+	}
+	n := 0
+	for _, ok := range got {
+		if ok {
+			n++
+		}
+	}
 	deadlineC := time.After(timeout)
-	for len(got) < h.numRAs {
+	for n < h.numRAs {
 		select {
 		case m := <-h.reports:
 			if m.Period != period || m.RA < 0 || m.RA >= h.numRAs || got[m.RA] {
@@ -301,17 +637,18 @@ func (h *Hub) CollectReports(period int, timeout time.Duration) ([]Envelope, err
 				continue
 			}
 			if len(m.Perf) != h.numSlices {
-				return nil, fmt.Errorf("rcnet: RA %d reported %d slices, want %d", m.RA, len(m.Perf), h.numSlices)
+				return n, fmt.Errorf("rcnet: RA %d reported %d slices, want %d", m.RA, len(m.Perf), h.numSlices)
 			}
 			out[m.RA] = m
 			got[m.RA] = true
+			n++
 		case <-deadlineC:
-			return nil, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", len(got), h.numRAs, period)
+			return n, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", n, h.numRAs, period)
 		case <-h.closed:
-			return nil, errors.New("rcnet: hub closed")
+			return n, errors.New("rcnet: hub closed")
 		}
 	}
-	return out, nil
+	return n, nil
 }
 
 // Shutdown notifies agents, closes all connections and the listener, and
@@ -327,23 +664,23 @@ func (h *Hub) Shutdown() error {
 		// conns accepted after this snapshot.
 		h.mu.Lock()
 		h.shutdown = true
-		conns := make([]net.Conn, 0, len(h.live))
-		for conn := range h.live {
-			conns = append(conns, conn)
+		states := make([]*connState, 0, len(h.live))
+		for _, st := range h.live {
+			states = append(states, st)
 		}
-		h.conns = make(map[int]net.Conn)
+		h.conns = make(map[int]*connState)
 		h.mu.Unlock()
 		// Notify outside the lock with a write deadline: a stalled agent
 		// must not be able to wedge shutdown.
-		for _, conn := range conns {
-			_ = conn.SetWriteDeadline(deadline(conn, h.writeTimeout))
-			_ = writeMsg(conn, Envelope{Type: MsgShutdown})
-			_ = conn.Close()
+		for _, st := range states {
+			_ = st.send(Envelope{Type: MsgShutdown}, h.writeTimeout)
+			_ = st.conn.Close()
 		}
 		close(h.closed)
 		err = h.ln.Close()
 		h.acceptWG.Wait()
 		h.readerWG.Wait()
+		h.reaperWG.Wait()
 	})
 	return err
 }

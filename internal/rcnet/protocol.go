@@ -8,15 +8,26 @@
 // The protocol is period-synchronous, mirroring Algorithm 1:
 //
 //	agent → hub:  register{ra}
+//	hub → agent:  resume{period, zhist, yhist}   (re-registration catch-up)
 //	hub → agent:  coordination{period, z, y}
 //	agent → hub:  perf_report{ra, period, perf}
+//	agent → hub:  heartbeat{ra}                  (liveness, optional)
 //	hub → agent:  shutdown{}
 //
 // Hub-side writes carry a write deadline (Hub.SetWriteTimeout, default 5s)
 // and happen outside the hub lock: an agent that stops reading delays a
 // coordination round by at most the write timeout, after which its
-// connection is dropped and it must re-register. Healthy agents still
-// receive their coordination in the same round.
+// connection is dropped and it must re-register.
+//
+// The coordination plane is fault tolerant: a re-registering RA supersedes
+// its stale connection and receives a resume frame carrying every
+// coordination column broadcast so far, so RunAgent can replay the
+// completed periods against a freshly seeded environment and rejoin the
+// run mid-flight bit-identically. Agents may send periodic heartbeat
+// frames; a hub with liveness enabled (Hub.SetLiveness) reaps connections
+// that go silent instead of waiting for the next broadcast write timeout.
+// Both frame kinds are ignored by older peers, so mixed-version
+// deployments keep working.
 package rcnet
 
 import (
@@ -37,6 +48,15 @@ const (
 	MsgCoordination MsgType = "coordination"
 	MsgPerfReport   MsgType = "perf_report"
 	MsgShutdown     MsgType = "shutdown"
+	// MsgHeartbeat is an agent→hub liveness beacon (AgentClient
+	// StartHeartbeat); the hub refreshes the connection's last-seen stamp
+	// on every frame it reads, heartbeats included.
+	MsgHeartbeat MsgType = "heartbeat"
+	// MsgResume is sent hub→agent right after a registration when the run
+	// is already past period 0: Period is the first period the agent must
+	// execute live, and ZHist/YHist carry this RA's coordination column
+	// for every earlier period so the agent can replay them locally.
+	MsgResume MsgType = "resume"
 )
 
 // Envelope is the wire form of every message.
@@ -54,6 +74,11 @@ type Envelope struct {
 	// History and monitor series a local run records. Absent in reports
 	// from pre-engine agent builds.
 	Intervals []IntervalRecord `json:"intervals,omitempty"`
+	// ZHist/YHist are only set on MsgResume frames: the RA's coordination
+	// columns for periods [0, Period), in period order, so a re-registered
+	// agent can replay the completed prefix of the run.
+	ZHist [][]float64 `json:"zhist,omitempty"`
+	YHist [][]float64 `json:"yhist,omitempty"`
 }
 
 // IntervalRecord is one interval's detailed outcome inside a perf_report:

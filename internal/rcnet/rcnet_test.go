@@ -81,31 +81,6 @@ func TestRegisterBroadcastCollect(t *testing.T) {
 	}
 }
 
-func TestDuplicateRegistrationRejected(t *testing.T) {
-	h, err := NewHub("127.0.0.1:0", 1, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = h.Shutdown() }()
-	c1, err := DialAgent(h.Addr(), 0, testTimeout)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c1.Close()
-	if err := h.WaitRegistered(testTimeout); err != nil {
-		t.Fatal(err)
-	}
-	// Second registration for the same RA: connection should be closed.
-	c2, err := DialAgent(h.Addr(), 0, testTimeout)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c2.Close()
-	if _, _, _, err := c2.RecvCoordination(500 * time.Millisecond); err == nil {
-		t.Error("duplicate registration should not receive coordination")
-	}
-}
-
 func TestMalformedFrameDropsAgent(t *testing.T) {
 	h, err := NewHub("127.0.0.1:0", 1, 1)
 	if err != nil {

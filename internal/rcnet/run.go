@@ -1,7 +1,6 @@
 package rcnet
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -18,7 +17,8 @@ import (
 // need the full History, monitor series, SLA flags, and primal/dual
 // residuals of a local run should use the remote execution engine
 // (core.NewRemoteExecutor), which consumes the same hub and the
-// per-interval records agents attach to their reports.
+// per-interval records agents attach to their reports — and, unlike this
+// driver, retries in-flight periods against re-registered agents.
 //
 // Partial-history contract: on failure RunCoordinator returns a non-nil
 // error TOGETHER with the prefix of periods that fully completed before
@@ -45,8 +45,37 @@ func RunCoordinator(h *Hub, coord *admm.Coordinator, periods int, timeout time.D
 			return history, err
 		}
 		history = append(history, perf)
+		h.FinishPeriod(p)
 	}
 	return history, nil
+}
+
+// stepPeriod installs (z, y) and orchestrates one period's T intervals with
+// the policy, returning the period report payload.
+func stepPeriod(env *netsim.RAEnv, agent rl.Agent, z, y []float64) (perf []float64, queues []int, intervals []IntervalRecord, err error) {
+	if err := env.SetCoordination(z, y); err != nil {
+		return nil, nil, nil, err
+	}
+	T := env.Config().T
+	intervals = make([]IntervalRecord, T)
+	for t := 0; t < T; t++ {
+		act := agent.Act(env.State())
+		res, err := env.StepInterval(act)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eff := make([][]float64, len(res.Effective))
+		for i := range res.Effective {
+			eff[i] = append([]float64(nil), res.Effective[i][:]...)
+		}
+		intervals[t] = IntervalRecord{
+			Perf:      res.Perf,
+			Queues:    res.QueueLens,
+			Effective: eff,
+			Violation: res.Violation,
+		}
+	}
+	return env.PeriodPerf(), env.QueueLens(), intervals, nil
 }
 
 // RunAgent drives one RA from the agent side: for each coordination message
@@ -55,39 +84,73 @@ func RunCoordinator(h *Hub, coord *admm.Coordinator, periods int, timeout time.D
 // queue lengths, effective allocation, capacity violation) that let the
 // coordinator reconstruct the full History of a local run. It returns nil
 // when the coordinator shuts the session down.
+//
+// RunAgent participates in the fault-tolerant protocol, which requires env
+// to be freshly seeded (period 0 state) on entry:
+//
+//   - A resume frame (sent by the hub right after registration when the run
+//     is mid-flight) makes it replay the completed periods' coordination
+//     columns locally — same deterministic env, same policy, no reports —
+//     so the env state catches up bit-identically before live periods.
+//   - A re-broadcast of the period it just executed (the coordinator timed
+//     out before this RA's report was drained, then retried) re-sends the
+//     cached report without stepping the env again, preserving the
+//     one-step-per-period invariant that bit-reproducibility rests on.
 func RunAgent(c *AgentClient, env *netsim.RAEnv, agent rl.Agent, timeout time.Duration) error {
+	done := 0 // periods already stepped into env (replayed or live)
+	var lastPerf []float64
+	var lastQueues []int
+	var lastIntervals []IntervalRecord
 	for {
-		period, z, y, err := c.RecvCoordination(timeout)
+		m, err := c.Recv(timeout)
 		if err != nil {
-			if errors.Is(err, ErrShutdown) {
-				return nil
-			}
 			return err
 		}
-		if err := env.SetCoordination(z, y); err != nil {
-			return err
-		}
-		T := env.Config().T
-		intervals := make([]IntervalRecord, T)
-		for t := 0; t < T; t++ {
-			act := agent.Act(env.State())
-			res, err := env.StepInterval(act)
-			if err != nil {
-				return err
+		switch m.Type {
+		case MsgShutdown:
+			return nil
+		case MsgResume:
+			target := m.Period
+			if target <= done {
+				continue // nothing new to replay
 			}
-			eff := make([][]float64, len(res.Effective))
-			for i := range res.Effective {
-				eff[i] = append([]float64(nil), res.Effective[i][:]...)
+			if done != 0 {
+				return fmt.Errorf("rcnet: resume to period %d after %d live periods; reconnect with a fresh env", target, done)
 			}
-			intervals[t] = IntervalRecord{
-				Perf:      res.Perf,
-				Queues:    res.QueueLens,
-				Effective: eff,
-				Violation: res.Violation,
+			if len(m.ZHist) < target || len(m.YHist) < target {
+				return fmt.Errorf("rcnet: resume to period %d carries %d/%d history columns", target, len(m.ZHist), len(m.YHist))
 			}
-		}
-		if err := c.Report(period, env.PeriodPerf(), env.QueueLens(), intervals); err != nil {
-			return err
+			for p := 0; p < target; p++ {
+				if _, _, _, err := stepPeriod(env, agent, m.ZHist[p], m.YHist[p]); err != nil {
+					return fmt.Errorf("rcnet: replaying period %d: %w", p, err)
+				}
+			}
+			done = target
+		case MsgCoordination:
+			switch {
+			case m.Period == done-1:
+				// Retry of the period this RA already executed: its report
+				// sat undrained past the coordinator's collect timeout.
+				// Re-report the cached outcome; stepping again would fork
+				// the env from the serial run.
+				if err := c.Report(m.Period, lastPerf, lastQueues, lastIntervals); err != nil {
+					return err
+				}
+			case m.Period == done:
+				perf, queues, intervals, err := stepPeriod(env, agent, m.Z, m.Y)
+				if err != nil {
+					return err
+				}
+				lastPerf, lastQueues, lastIntervals = perf, queues, intervals
+				done++
+				if err := c.Report(m.Period, perf, queues, intervals); err != nil {
+					return err
+				}
+			case m.Period < done-1:
+				// Stale duplicate from an old retry; already superseded.
+			default:
+				return fmt.Errorf("rcnet: coordination for period %d but only %d periods executed (missed resume?)", m.Period, done)
+			}
 		}
 	}
 }

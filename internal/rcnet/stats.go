@@ -14,6 +14,10 @@ type hubStats struct {
 	reportsReceived atomic.Uint64 // perf-report frames read off connections
 	reportsDropped  atomic.Uint64 // reports discarded by Collect (wrong period/dup)
 	connsDropped    atomic.Uint64 // registered conns dropped (read error or stalled write)
+	heartbeats      atomic.Uint64 // heartbeat frames received
+	reaped          atomic.Uint64 // conns closed by the liveness reaper
+	superseded      atomic.Uint64 // stale conns replaced by a re-registration
+	resumesSent     atomic.Uint64 // resume frames sent to re-registering agents
 }
 
 // HubStats is a snapshot of the hub's lifetime counters.
@@ -23,6 +27,10 @@ type HubStats struct {
 	ReportsReceived uint64 // perf-report frames received
 	ReportsDropped  uint64 // reports discarded (wrong period or duplicate)
 	ConnsDropped    uint64 // registered connections dropped
+	Heartbeats      uint64 // heartbeat frames received
+	Reaped          uint64 // connections closed by the liveness reaper
+	Superseded      uint64 // stale connections replaced by re-registrations
+	ResumesSent     uint64 // resume catch-up frames sent
 }
 
 // Stats returns a snapshot of the hub's counters.
@@ -33,6 +41,10 @@ func (h *Hub) Stats() HubStats {
 		ReportsReceived: h.stats.reportsReceived.Load(),
 		ReportsDropped:  h.stats.reportsDropped.Load(),
 		ConnsDropped:    h.stats.connsDropped.Load(),
+		Heartbeats:      h.stats.heartbeats.Load(),
+		Reaped:          h.stats.reaped.Load(),
+		Superseded:      h.stats.superseded.Load(),
+		ResumesSent:     h.stats.resumesSent.Load(),
 	}
 }
 
@@ -49,11 +61,24 @@ func (h *Hub) EnableTelemetry(reg *telemetry.Registry) {
 		"reports discarded as wrong-period or duplicate", h.stats.reportsDropped.Load)
 	reg.CounterFunc("edgeslice_hub_conns_dropped_total",
 		"registered connections dropped (read error or stalled write)", h.stats.connsDropped.Load)
+	reg.CounterFunc("edgeslice_hub_heartbeats_total",
+		"heartbeat frames received from agents", h.stats.heartbeats.Load)
+	reg.CounterFunc("edgeslice_hub_conns_reaped_total",
+		"connections closed by the liveness reaper", h.stats.reaped.Load)
+	reg.CounterFunc("edgeslice_hub_conns_superseded_total",
+		"stale connections replaced by a re-registration", h.stats.superseded.Load)
+	reg.CounterFunc("edgeslice_hub_resumes_sent_total",
+		"resume catch-up frames sent to re-registering agents", h.stats.resumesSent.Load)
 	reg.GaugeFunc("edgeslice_hub_connected_agents",
 		"RAs currently registered", func() float64 {
 			h.mu.Lock()
 			defer h.mu.Unlock()
 			return float64(len(h.conns))
+		})
+	reg.GaugeFunc("edgeslice_hub_live_agents",
+		"registered RAs seen within the liveness window", func() float64 {
+			live, _, _ := h.Liveness()
+			return float64(live)
 		})
 }
 
@@ -61,12 +86,14 @@ func (h *Hub) EnableTelemetry(reg *telemetry.Registry) {
 type agentStats struct {
 	reportsSent    atomic.Uint64
 	coordsReceived atomic.Uint64
+	heartbeatsSent atomic.Uint64
 }
 
 // AgentStats is a snapshot of an agent client's counters.
 type AgentStats struct {
 	ReportsSent    uint64 // perf reports written to the hub
 	CoordsReceived uint64 // coordination messages received
+	HeartbeatsSent uint64 // heartbeat frames written to the hub
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -74,6 +101,7 @@ func (c *AgentClient) Stats() AgentStats {
 	return AgentStats{
 		ReportsSent:    c.stats.reportsSent.Load(),
 		CoordsReceived: c.stats.coordsReceived.Load(),
+		HeartbeatsSent: c.stats.heartbeatsSent.Load(),
 	}
 }
 
@@ -84,4 +112,6 @@ func (c *AgentClient) EnableTelemetry(reg *telemetry.Registry) {
 		"perf reports sent to the hub", c.stats.reportsSent.Load)
 	reg.CounterFunc("edgeslice_agent_coordinations_received_total",
 		"coordination messages received from the hub", c.stats.coordsReceived.Load)
+	reg.CounterFunc("edgeslice_agent_heartbeats_sent_total",
+		"heartbeat frames sent to the hub", c.stats.heartbeatsSent.Load)
 }

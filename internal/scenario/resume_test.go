@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestRunnerResumeFromHistoryLogs pins the sweep-resume contract: a rerun
+// with Options.Resume recovers every replica whose log holds the full run,
+// bit-identically to the cold summary, and falls back to a fresh run (which
+// rewrites the log) for any replica whose log is damaged.
+func TestRunnerResumeFromHistoryLogs(t *testing.T) {
+	spec := fastSpec()
+	dir := t.TempDir()
+	opts := Options{Replicas: 2, Parallel: 2, HistoryLogDir: dir}
+
+	cold, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Resumed != 0 {
+		t.Fatalf("cold run reported %d resumed replicas", cold.Resumed)
+	}
+
+	sameButForResumed := func(label string, got *Summary, wantResumed int) {
+		t.Helper()
+		if got.Resumed != wantResumed {
+			t.Errorf("%s: resumed %d replicas, want %d", label, got.Resumed, wantResumed)
+		}
+		clone := *got
+		clone.Resumed = 0
+		if !reflect.DeepEqual(&clone, cold) {
+			t.Errorf("%s: summary differs from cold run:\n cold   %+v\n resume %+v", label, cold, got)
+		}
+	}
+
+	resumeOpts := opts
+	resumeOpts.Resume = true
+	warm, err := Run(spec, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameButForResumed("full resume", warm, 2)
+
+	// Damage replica 1's log: cut it mid-record so the replay reports a
+	// truncated tail. That replica must rerun from scratch; replica 0 still
+	// resumes, and the rerun leaves behind a complete log again.
+	victim := histLogPath(dir, spec, spec.Algorithms[0], 1)
+	info, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Run(spec, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameButForResumed("resume with damaged log", partial, 1)
+
+	repaired, err := Run(spec, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameButForResumed("resume after repair", repaired, 2)
+
+	// A missing log is indistinguishable from a never-started replica.
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := Run(spec, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameButForResumed("resume with missing log", missing, 1)
+
+	// Resume without a log dir is a no-op, not an error.
+	noDir, err := Run(spec, Options{Replicas: 2, Parallel: 2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameButForResumed("resume without log dir", noDir, 0)
+}

@@ -75,6 +75,14 @@ type Options struct {
 	// Combined with StreamWindow this gives bounded-memory runs with
 	// lossless on-disk history.
 	HistoryLogDir string
+	// Resume, with HistoryLogDir set, skips every replica whose history log
+	// already holds the scenario's full run (shape and period count match):
+	// its summary numbers are recomputed from the replayed log — no
+	// training, no stepping — bit-identically to a fresh exact-mode run. A
+	// missing, truncated, or short log reruns that replica from scratch
+	// (the rerun truncates the stale log), so an interrupted sweep finishes
+	// by re-invoking it with Resume set.
+	Resume bool
 }
 
 func (o Options) normalized() Options {
@@ -130,6 +138,9 @@ type Summary struct {
 	// learning algorithm with Options.WarmStart, and zero on a checkpoint
 	// cache hit.
 	Trainings int
+	// Resumed counts replicas recovered from their history logs instead of
+	// rerun (Options.Resume).
+	Resumed int
 }
 
 // replicaSeed derives replica r's deterministic seed from the spec seed.
@@ -152,7 +163,7 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 		return nil, err
 	}
 
-	var trainings atomic.Int64
+	var trainings, resumed atomic.Int64
 	warm, err := warmCheckpoints(spec, opts, &trainings)
 	if err != nil {
 		return nil, err
@@ -200,6 +211,12 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
+				if res, ok := tryResumeReplica(spec, j.algo, j.replica, opts); ok {
+					resumed.Add(1)
+					results[idx] = res
+					reportProgress()
+					continue
+				}
 				res, _, err := runReplica(spec, j.algo, j.replica, warm[j.algo], &trainings, opts)
 				results[idx] = res
 				errs[idx] = err
@@ -219,7 +236,8 @@ func Run(spec Spec, opts Options) (*Summary, error) {
 		}
 	}
 
-	summary := &Summary{Scenario: spec.Name, Replicas: opts.Replicas, Trainings: int(trainings.Load())}
+	summary := &Summary{Scenario: spec.Name, Replicas: opts.Replicas,
+		Trainings: int(trainings.Load()), Resumed: int(resumed.Load())}
 	for _, algo := range spec.Algorithms {
 		var group []ReplicaResult
 		for _, res := range results {
@@ -313,6 +331,84 @@ func warmCheckpoints(spec Spec, opts Options, trainings *atomic.Int64) (map[stri
 	return warm, nil
 }
 
+// histLogPath is the on-disk location of one replica's history log.
+func histLogPath(dir string, spec Spec, algoName string, replica int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s-r%d.histlog", spec.Name, algoName, replica))
+}
+
+// tryResumeReplica recovers one replica's result from its history log when
+// Options.Resume is set and the log holds the scenario's complete run. The
+// summary numbers are recomputed from the replayed exact history with the
+// same formulas runReplica uses, and the final slice count is re-derived
+// from the spec's lifecycle events, so a resumed replica's ReplicaResult is
+// bit-identical to the exact-mode run that wrote the log.
+func tryResumeReplica(spec Spec, algoName string, replica int, opts Options) (ReplicaResult, bool) {
+	if !opts.Resume || opts.HistoryLogDir == "" {
+		return ReplicaResult{}, false
+	}
+	h, truncated, err := core.ReplayHistoryLogFile(histLogPath(opts.HistoryLogDir, spec, algoName, replica))
+	if err != nil || truncated {
+		return ReplicaResult{}, false
+	}
+	I, J, T := len(spec.Slices), spec.NumRAs, spec.T
+	if h.NumSlices != I || h.NumRAs != J || h.T != T ||
+		h.Periods() != spec.Periods || h.Intervals() != spec.Periods*T {
+		return ReplicaResult{}, false
+	}
+	ssp, err := h.MeanSystemPerf(h.Intervals() / 2)
+	if err != nil {
+		return ReplicaResult{}, false
+	}
+	slaRate, err := h.SLASatisfactionRate(0)
+	if err != nil {
+		return ReplicaResult{}, false
+	}
+	return ReplicaResult{
+		Algorithm:        algoName,
+		Replica:          replica,
+		Seed:             replicaSeed(spec.Seed, replica),
+		SSP:              ssp,
+		SLAViolationRate: 1 - slaRate,
+		ActiveSlices:     finalActiveSlices(spec),
+	}, true
+}
+
+// finalActiveSlices replays the spec's slice lifecycle — up-front
+// provisioning for slices without an admission event, then admit/teardown
+// events in chronological order — and returns the final active count, the
+// number runReplica reads off its slice manager. It is a pure function of
+// the spec, which is what makes resumed results equal to rerun ones.
+func finalActiveSlices(spec Spec) int {
+	admitAt := make(map[int]bool)
+	for _, ev := range spec.Events {
+		if ev.Kind == EventSliceAdmit {
+			admitAt[ev.Slice] = true
+		}
+	}
+	active := make(map[int]bool)
+	for i := range spec.Slices {
+		if !admitAt[i] {
+			active[i] = true
+		}
+	}
+	evs := make([]Event, 0, len(spec.Events))
+	for _, ev := range spec.Events {
+		if ev.Kind == EventSliceAdmit || ev.Kind == EventSliceTeardown {
+			evs = append(evs, ev)
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EventSliceAdmit:
+			active[ev.Slice] = true
+		case EventSliceTeardown:
+			delete(active, ev.Slice)
+		}
+	}
+	return len(active)
+}
+
 // runReplica executes one (algorithm, replica) run: it compiles the spec,
 // trains if needed (or restores the warm-start checkpoint), then advances
 // period by period under the configured execution engine, applying runtime
@@ -390,8 +486,7 @@ func runReplica(spec Spec, algoName string, replica int, warm *ckpt.Checkpoint, 
 	}
 	var hlog *core.HistoryLog
 	if opts.HistoryLogDir != "" {
-		path := filepath.Join(opts.HistoryLogDir,
-			fmt.Sprintf("%s-%s-r%d.histlog", spec.Name, algoName, replica))
+		path := histLogPath(opts.HistoryLogDir, spec, algoName, replica)
 		hlog, err = core.CreateHistoryLog(path, I, J, T)
 		if err != nil {
 			return ReplicaResult{}, nil, err

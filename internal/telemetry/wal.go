@@ -29,6 +29,11 @@ const maxRecordBytes = 64 << 20
 
 const recordHeaderBytes = 8
 
+// RecordHeaderBytes is the fixed per-record framing overhead (length +
+// CRC); readers tracking byte offsets for ResumeLog add it to each
+// payload's length.
+const RecordHeaderBytes = recordHeaderBytes
+
 // LogWriter appends records to an append-only log. Writes are buffered;
 // call Flush (or Sync, or Close) to push them down. The first write error
 // is sticky. LogWriter is not safe for concurrent use.
@@ -49,6 +54,39 @@ func CreateLog(path string) (*LogWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: create log: %w", err)
+	}
+	w := NewLogWriter(f)
+	w.f = f
+	return w, nil
+}
+
+// ResumeLog opens an existing record log for appending after discarding
+// everything past offset — the byte position just after the last record
+// the caller wants to keep (callers track it while reading; a partial or
+// corrupt tail past it is cut off). Records appended through the returned
+// writer continue the log in place; no new header or framing is written.
+func ResumeLog(path string, offset int64) (*LogWriter, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("telemetry: resume log at negative offset %d", offset)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: resume log: %w", err)
+	}
+	if fi, err := f.Stat(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("telemetry: resume log: %w", err)
+	} else if offset > fi.Size() {
+		_ = f.Close()
+		return nil, fmt.Errorf("telemetry: resume offset %d past log end %d", offset, fi.Size())
+	}
+	if err := f.Truncate(offset); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("telemetry: resume log: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("telemetry: resume log: %w", err)
 	}
 	w := NewLogWriter(f)
 	w.f = f

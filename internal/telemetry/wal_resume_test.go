@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResumeLogTruncatesAndAppends pins ResumeLog's contract: everything
+// past the offset is cut off, and appended records continue the log in
+// place with no new framing.
+func TestResumeLogTruncatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.log")
+	w, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("beta-to-be-cut")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	keep := int64(RecordHeaderBytes + len("alpha"))
+	w2, err := ResumeLog(path, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewLogReader(f)
+	for _, want := range []string{"alpha", "gamma"} {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("reading %q: %v", want, err)
+		}
+		if string(rec) != want {
+			t.Errorf("record = %q, want %q", rec, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after the resumed tail: %v, want EOF", err)
+	}
+
+	if _, err := ResumeLog(path, -1); err == nil {
+		t.Error("negative offset should be rejected")
+	}
+	if _, err := ResumeLog(path, 1<<40); err == nil {
+		t.Error("offset past the end should be rejected")
+	}
+	if _, err := ResumeLog(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Error("missing file should be rejected")
+	}
+}
