@@ -7,8 +7,17 @@
 //
 // Usage:
 //
-//	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10 [-engine remote|legacy]
-//	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json]
+//	edgeslice-daemon -role coordinator -listen :7000 -ras 2 -periods 10 [-engine remote|legacy] [-shards N]
+//	edgeslice-daemon -role agent -connect host:7000 -ra 0 [-agent agent.json] [-codec json|binary]
+//
+// -shards splits the coordinator's hub into N shards, each owning a
+// contiguous RA range with its own lock, broadcast-writer pool, and
+// report collector, so period fan-out and fan-in parallelize across
+// shards; results are bit-identical for any shard count. -codec selects
+// the agent's wire encoding — the compact length-prefixed binary codec
+// avoids per-frame JSON encode/decode allocations at large RA counts —
+// and the coordinator auto-detects each connection's codec, so JSON and
+// binary agents mix freely in one run.
 //
 // Both roles accept -metrics-addr to serve live telemetry (/metrics in
 // Prometheus text format, /healthz as JSON, and /debug/pprof) while the
@@ -70,6 +79,7 @@ func main() {
 type coordOptions struct {
 	listen       string
 	slices, ras  int
+	shards       int
 	periods      int
 	timeout      time.Duration
 	metricsAddr  string
@@ -99,6 +109,9 @@ func run() error {
 		streamWindow = flag.Int("stream-window", 0, "coordinator (remote): bounded-memory streaming history with this ring window")
 		historyPath  = flag.String("history", "", "coordinator (remote): write the run's on-disk history log to this file")
 
+		shards = flag.Int("shards", 1, "coordinator: hub shards (parallel broadcast/collect over contiguous RA ranges; any count is bit-identical)")
+		codec  = flag.String("codec", "json", "agent: wire codec, json or binary (the coordinator auto-detects per connection)")
+
 		heartbeat    = flag.Duration("heartbeat", 0, "agent: send liveness heartbeats at this interval; coordinator: reap conns silent for 4x this long")
 		retryPeriods = flag.Int("retry-periods", 0, "coordinator (remote): extra collection attempts per period after a timeout, re-broadcast to missing RAs")
 		reconnect    = flag.Int("reconnect", 0, "agent: redial attempts after a lost connection (re-registers and resumes mid-run)")
@@ -111,11 +124,14 @@ func run() error {
 		if *reconnect != 0 {
 			return fmt.Errorf("-reconnect applies to the agent role")
 		}
+		if *shards < 1 {
+			return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+		}
 		switch *engine {
 		case "remote", "":
 			return runCoordinatorRemote(coordOptions{
-				listen: *listen, slices: *slices, ras: *ras, periods: *periods,
-				timeout: *timeout, metricsAddr: *metricsAddr,
+				listen: *listen, slices: *slices, ras: *ras, shards: *shards,
+				periods: *periods, timeout: *timeout, metricsAddr: *metricsAddr,
 				streamWindow: *streamWindow, historyPath: *historyPath,
 				heartbeat: *heartbeat, retryPeriods: *retryPeriods, resume: *resume,
 			})
@@ -126,7 +142,7 @@ func run() error {
 			if *resume || *retryPeriods != 0 {
 				return fmt.Errorf("-resume and -retry-periods need the remote engine")
 			}
-			return runCoordinator(*listen, *slices, *ras, *periods, *timeout, *metricsAddr, *heartbeat)
+			return runCoordinator(*listen, *slices, *ras, *shards, *periods, *timeout, *metricsAddr, *heartbeat)
 		default:
 			return fmt.Errorf("-engine must be remote or legacy, got %q", *engine)
 		}
@@ -137,7 +153,11 @@ func run() error {
 		if *resume || *retryPeriods != 0 {
 			return fmt.Errorf("-resume and -retry-periods apply to the coordinator role")
 		}
-		return runAgentLoop(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout, *metricsAddr, *heartbeat, *reconnect)
+		wire, err := edgeslice.ParseCodec(*codec)
+		if err != nil {
+			return err
+		}
+		return runAgentLoop(*connect, *ra, *slices, *agentFile, *train, *seed, *timeout, *metricsAddr, *heartbeat, *reconnect, wire)
 	default:
 		return fmt.Errorf("-role must be coordinator or agent")
 	}
@@ -190,7 +210,7 @@ func runCoordinatorRemote(o coordOptions) error {
 		rec.Log = hlog
 	}
 	sys.SetRecording(rec)
-	hub, err := edgeslice.NewHub(o.listen, o.slices, o.ras)
+	hub, err := edgeslice.NewShardedHub(o.listen, o.slices, o.ras, o.shards)
 	if err != nil {
 		return err
 	}
@@ -211,7 +231,9 @@ func runCoordinatorRemote(o coordOptions) error {
 		reg := edgeslice.NewTelemetryRegistry()
 		sys.EnableTelemetry(reg)
 		hub.EnableTelemetry(reg)
-		srv, err := edgeslice.StartTelemetry(o.metricsAddr, reg, func() any { return sys.Health() })
+		srv, err := edgeslice.StartTelemetry(o.metricsAddr, reg, func() any {
+			return map[string]any{"system": sys.Health(), "hub": hub.Stats()}
+		})
 		if err != nil {
 			return err
 		}
@@ -303,8 +325,8 @@ func printStreamingSummary(h *edgeslice.History) error {
 	return nil
 }
 
-func runCoordinator(listen string, slices, ras, periods int, timeout time.Duration, metricsAddr string, heartbeat time.Duration) error {
-	hub, err := edgeslice.NewHub(listen, slices, ras)
+func runCoordinator(listen string, slices, ras, shards, periods int, timeout time.Duration, metricsAddr string, heartbeat time.Duration) error {
+	hub, err := edgeslice.NewShardedHub(listen, slices, ras, shards)
 	if err != nil {
 		return err
 	}
@@ -315,7 +337,9 @@ func runCoordinator(listen string, slices, ras, periods int, timeout time.Durati
 	if metricsAddr != "" {
 		reg := edgeslice.NewTelemetryRegistry()
 		hub.EnableTelemetry(reg)
-		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, nil)
+		srv, err := edgeslice.StartTelemetry(metricsAddr, reg, func() any {
+			return map[string]any{"hub": hub.Stats()}
+		})
 		if err != nil {
 			return err
 		}
@@ -392,7 +416,7 @@ func loadPolicy(ra int, agentFile string, train int, seed int64) (edgeslice.Agen
 // reused. The telemetry server outlives individual connections: its
 // counters read whichever client is current (and reset across
 // reconnections, the usual counter-restart semantics).
-func runAgentLoop(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration, metricsAddr string, heartbeat time.Duration, reconnect int) error {
+func runAgentLoop(connect string, ra, slices int, agentFile string, train int, seed int64, timeout time.Duration, metricsAddr string, heartbeat time.Duration, reconnect int, codec edgeslice.Codec) error {
 	if reconnect < 0 {
 		return fmt.Errorf("-reconnect must be >= 0, got %d", reconnect)
 	}
@@ -438,7 +462,7 @@ func runAgentLoop(connect string, ra, slices int, agentFile string, train int, s
 		if attempt > 0 {
 			fmt.Printf("RA %d: connection lost (%v), redialing (attempt %d/%d)\n", ra, lastErr, attempt, reconnect)
 		}
-		done, err := runAgentOnce(connect, ra, slices, policy, seed, timeout, heartbeat, &cur)
+		done, err := runAgentOnce(connect, ra, slices, policy, seed, timeout, heartbeat, codec, &cur)
 		if done {
 			if err != nil {
 				return err
@@ -456,7 +480,7 @@ func runAgentLoop(connect string, ra, slices int, agentFile string, train int, s
 // runAgentOnce is one connection's lifetime: fresh env, dial, register,
 // serve until shutdown (done=true) or a connection error (done=false,
 // worth redialing).
-func runAgentOnce(connect string, ra, slices int, policy edgeslice.Agent, seed int64, timeout time.Duration, heartbeat time.Duration, cur *atomic.Pointer[edgeslice.AgentClient]) (done bool, err error) {
+func runAgentOnce(connect string, ra, slices int, policy edgeslice.Agent, seed int64, timeout time.Duration, heartbeat time.Duration, codec edgeslice.Codec, cur *atomic.Pointer[edgeslice.AgentClient]) (done bool, err error) {
 	envCfg := edgeslice.DefaultEnvConfig()
 	if slices != envCfg.NumSlices {
 		return true, fmt.Errorf("daemon presets support %d slices, got %d", envCfg.NumSlices, slices)
@@ -469,7 +493,7 @@ func runAgentOnce(connect string, ra, slices int, policy edgeslice.Agent, seed i
 	}
 	env.Reset()
 
-	client, err := edgeslice.DialAgent(connect, ra, timeout)
+	client, err := edgeslice.DialAgentCodec(connect, ra, timeout, codec)
 	if err != nil {
 		return false, err
 	}

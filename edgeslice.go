@@ -119,12 +119,25 @@ type Coordinator = admm.Coordinator
 
 // Distributed-deployment types (RC interface over TCP).
 type (
-	// Hub is the coordinator-side network endpoint.
+	// Hub is the coordinator-side network endpoint, internally sharded for
+	// parallel broadcast and collection (NewShardedHub).
 	Hub = rcnet.Hub
+	// HubStats is a snapshot of the hub's lifetime counters, including
+	// wire-level traffic.
+	HubStats = rcnet.HubStats
 	// AgentClient is the orchestration-agent-side endpoint.
 	AgentClient = rcnet.AgentClient
 	// AgentStats is a snapshot of an agent client's lifetime counters.
 	AgentStats = rcnet.AgentStats
+	// Codec selects the coordination plane's wire encoding: CodecJSON (the
+	// compatibility default) or CodecBinary (length-prefixed packed frames).
+	Codec = rcnet.Codec
+)
+
+// Wire codecs for the coordination plane.
+const (
+	CodecJSON   = rcnet.CodecJSON
+	CodecBinary = rcnet.CodecBinary
 )
 
 // Scenario-engine types (declarative workloads and the parallel runner).
@@ -316,14 +329,32 @@ func NewRemoteExecutorWithOptions(hub *Hub, opts RemoteOptions) Executor {
 	return core.NewRemoteExecutorWithOptions(hub, opts)
 }
 
-// NewHub starts the coordinator-side RC endpoint on addr.
+// NewHub starts the coordinator-side RC endpoint on addr (single shard).
 func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 	return rcnet.NewHub(addr, numSlices, numRAs)
 }
 
-// DialAgent connects an orchestration agent to the hub.
+// NewShardedHub starts the coordinator-side RC endpoint with the RA space
+// split across shards, each broadcasting and collecting in parallel under
+// its own lock. Runs are bit-identical for any shard count.
+func NewShardedHub(addr string, numSlices, numRAs, shards int) (*Hub, error) {
+	return rcnet.NewShardedHub(addr, numSlices, numRAs, shards)
+}
+
+// ParseCodec resolves a wire-codec CLI spelling ("json", "binary", or ""
+// for the JSON default).
+func ParseCodec(s string) (Codec, error) { return rcnet.ParseCodec(s) }
+
+// DialAgent connects an orchestration agent to the hub with the JSON wire
+// codec.
 func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error) {
 	return rcnet.DialAgent(addr, ra, timeout)
+}
+
+// DialAgentCodec connects an orchestration agent to the hub with an
+// explicit wire codec; the hub answers the connection in the same codec.
+func DialAgentCodec(addr string, ra int, timeout time.Duration, codec Codec) (*AgentClient, error) {
+	return rcnet.DialAgentCodec(addr, ra, timeout, codec)
 }
 
 // RunCoordinator drives Algorithm 1 from the hub side.

@@ -183,3 +183,64 @@ func (h *Hub) RegisterCallback(cbs *[]func()) {
 	defer h.mu.Unlock()
 	*cbs = append(*cbs, func() { h.conn.Write(nil) })
 }
+
+// Shard is the sharded-hub shape: a fixed RA range with its own lock,
+// connection table, and broadcast-pool queue.
+type Shard struct {
+	mu    sync.Mutex
+	conns map[int]Conn
+	bcast chan int
+}
+
+// ShardedHub fans broadcasts out to shard pools under a shared RWMutex that
+// pins the queues open against a concurrent close.
+type ShardedHub struct {
+	bcastMu sync.RWMutex
+	shards  []*Shard
+}
+
+// Enqueueing pool work under the shard lock can block on a full queue,
+// wedging every reader and registrar behind the shard.
+func (s *Shard) EnqueueLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bcast <- v // want `channel send while holding s\.mu`
+}
+
+// The per-shard reaper bug shape: closing a victim's conn under the shard
+// lock stalls the whole shard on one dead peer's socket flush.
+func (s *Shard) ReapLocked(ra int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[ra].Close() // want `Close on .*Conn while holding s\.mu`
+}
+
+// The fixed reaper: victims collected under the lock, closed outside it.
+func (s *Shard) ReapUnlocked() {
+	s.mu.Lock()
+	var victims []Conn
+	for _, c := range s.conns {
+		victims = append(victims, c)
+	}
+	s.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// A shared (read) lock blocks the exclusive closer just the same: an
+// unjustified enqueue under it is flagged.
+func (h *ShardedHub) FanOutLocked(v int) {
+	h.bcastMu.RLock()
+	defer h.bcastMu.RUnlock()
+	h.shards[0].bcast <- v // want `channel send while holding h\.bcastMu`
+}
+
+// The justified fan-out: the queue's capacity covers every job a caller can
+// enqueue while the shared lock pins it open, so the send cannot block.
+func (h *ShardedHub) FanOutJustified(v int) {
+	h.bcastMu.RLock()
+	defer h.bcastMu.RUnlock()
+	//edgeslice:lockio queue capacity covers one job per owned RA and the shared lock pins it open
+	h.shards[0].bcast <- v
+}

@@ -44,3 +44,16 @@ func BadUptime() time.Duration {
 	//edgeslice:wallclock
 	return time.Since(epoch) // want `requires a non-empty reason`
 }
+
+// The shard-reaper shape: a liveness scan comparing last-seen stamps to now
+// reads the wall clock and is flagged when unjustified.
+func StaleSince(lastSeen int64) bool {
+	return time.Now().UnixNano()-lastSeen > int64(time.Second) // want `time\.Now reads the wall clock`
+}
+
+// The sanctioned reaper: liveness is wall-clock by nature and never feeds
+// the recorded run, so the read is justified.
+func StaleJustified(lastSeen int64) bool {
+	//edgeslice:wallclock liveness reaping compares socket activity to real time; never recorded into History
+	return time.Now().UnixNano()-lastSeen > int64(time.Second)
+}

@@ -157,14 +157,27 @@ func (e *BatchedExecutor) planFor(s *System) *batchPlan {
 // baselines, unknown agents, agents whose type cannot be a map key — takes
 // the per-RA fallback.
 func (s *System) newBatchPlan(workers int) *batchPlan {
+	all := make([]int, s.cfg.NumRAs)
+	for j := range all {
+		all[j] = j
+	}
+	return s.newBatchPlanFor(all, workers)
+}
+
+// newBatchPlanFor builds a batch plan covering only the given RAs
+// (ascending) — the remote engine uses it to drive its in-process subset
+// through the same grouped wide forwards the batched engine runs over the
+// full system. groupOf/rowOf stay indexed by global RA id; RAs outside the
+// set have no group and are not counted as fallback.
+func (s *System) newBatchPlanFor(ras []int, workers int) *batchPlan {
 	J := s.cfg.NumRAs
 	p := &batchPlan{groupOf: make([]*batchGroup, J), rowOf: make([]int, J)}
 	if !s.cfg.Algo.IsLearning() {
-		p.fallback = J
+		p.fallback = len(ras)
 		return p
 	}
 	byKey := make(map[batchKey]*batchGroup, 1)
-	for j := 0; j < J; j++ {
+	for _, j := range ras {
 		ba := rl.AsBatchActor(s.agents[j])
 		if ba == nil || !reflect.TypeOf(ba).Comparable() {
 			p.fallback++
@@ -211,11 +224,18 @@ func (s *System) newBatchPlan(workers int) *batchPlan {
 	return p
 }
 
+// forward runs the group's wide pass and updates the engine's telemetry.
+func (e *BatchedExecutor) forward(s *System, g *batchGroup) {
+	g.forward(s)
+	e.forwards.Add(1)
+	e.lastRows.Store(int64(g.states.Rows))
+}
+
 // forward gathers the group's states and runs the wide pass, sharded across
 // workers when the group is large enough. Shard results are bit-identical
 // to an unsharded pass: each output element's dot product is computed
 // identically whichever row block it lands in.
-func (e *BatchedExecutor) forward(s *System, g *batchGroup) {
+func (g *batchGroup) forward(s *System) {
 	dim := g.states.Cols
 	for r, j := range g.ras {
 		row := g.states.Data[r*dim : r*dim : (r+1)*dim]
@@ -240,8 +260,6 @@ func (e *BatchedExecutor) forward(s *System, g *batchGroup) {
 		g.res[0] = g.actor.ActBatch(&g.in[0], g.ws[0])
 		wg.Wait()
 	}
-	e.forwards.Add(1)
-	e.lastRows.Store(int64(g.states.Rows))
 }
 
 // RunPeriods implements Executor. On error it returns a nil history, like

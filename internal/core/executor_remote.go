@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"edgeslice/internal/netsim"
@@ -23,6 +25,14 @@ import (
 // versus a local run holds exactly when the remote agents step
 // identically-configured environments with the same policies.
 //
+// With RemoteOptions.LocalRAs a subset of RAs runs in-process instead:
+// the executor steps their System environments itself through the batched
+// engine's grouped wide forwards (phase 2 for those RAs happens on the
+// coordinator host, concurrently with the remote agents' compute), and
+// the hub only serves the rest. Local RAs' records enter the same
+// deterministic merge, so a mixed local/remote run stays bit-identical to
+// an all-remote or all-local one. This mode requires a trained system.
+//
 // With RemoteOptions.RetryPeriods > 0 the executor tolerates agent churn:
 // a collect timeout re-broadcasts the in-flight period only to the RAs
 // whose reports are still missing (re-registered agents replayed the run
@@ -33,9 +43,17 @@ import (
 type RemoteExecutor struct {
 	hub  *rcnet.Hub
 	opts RemoteOptions
+
+	// Cached batch plan for the local RA subset, keyed like the batched
+	// engine's cache so period-at-a-time driving does not regroup every
+	// call. Accessed only from RunPeriods, which is single-driver.
+	cacheSys  *System
+	cacheGen  int
+	cachePlan *batchPlan
 }
 
-// RemoteOptions tunes the remote engine's fault handling.
+// RemoteOptions tunes the remote engine's fault handling and its local
+// execution subset.
 type RemoteOptions struct {
 	// Timeout bounds each collection attempt for a period's reports.
 	Timeout time.Duration
@@ -43,6 +61,18 @@ type RemoteOptions struct {
 	// after a timeout, each preceded by a re-broadcast to the missing RAs.
 	// 0 preserves the historical fail-fast behavior.
 	RetryPeriods int
+	// LocalRAs lists RAs the executor steps in-process instead of waiting
+	// for a remote agent: their System environments and agents are the
+	// ones of record, driven through the batched engine's grouped wide
+	// forwards (BatchedExecutor), while the remaining RAs dial in over the
+	// network. The hub never broadcasts to or collects from a local RA, so
+	// a partially provisioned cluster can run with the coordinator host
+	// picking up the slack. Requires a trained/SetAgents system when
+	// non-empty.
+	LocalRAs []int
+	// LocalWorkers shards the local wide forwards (see NewBatchedExecutor);
+	// <= 0 defaults to GOMAXPROCS. Results are identical for any value.
+	LocalWorkers int
 }
 
 // NewRemoteExecutor wraps a live hub; timeout bounds each period's report
@@ -68,22 +98,114 @@ func (e *RemoteExecutor) Name() string { return EngineRemote }
 // Close implements Executor: it shuts down the hub session (idempotent).
 func (e *RemoteExecutor) Close() error { return e.hub.Shutdown() }
 
-// collectPeriod broadcasts period p's coordination grids and collects every
-// RA's report, retrying up to RetryPeriods times on timeout. Each retry
-// re-broadcasts only to the RAs still missing and keeps the partial report
-// set, so agents that already stepped the period are never double-stepped.
-func (e *RemoteExecutor) collectPeriod(s *System, p, J int) ([]rcnet.Envelope, error) {
+// localPlan returns the cached batch plan over the local RA subset,
+// rebuilding it only when the system or its installed agents changed.
+func (e *RemoteExecutor) localPlan(s *System) *batchPlan {
+	if e.cachePlan == nil || e.cacheSys != s || e.cacheGen != s.agentsGen {
+		workers := e.opts.LocalWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		e.cacheSys = s
+		e.cacheGen = s.agentsGen
+		e.cachePlan = s.newBatchPlanFor(e.opts.LocalRAs, workers)
+	}
+	return e.cachePlan
+}
+
+// stepLocal drives the local RA subset through period p in-process: it
+// installs the coordination columns, runs the batch plan's grouped wide
+// forwards (or the per-RA fallback) for each of the T intervals, and
+// fills the locals' interval records and perf columns — exactly what a
+// remote agent's report would have carried, produced by the same
+// stepRA-shaped loop, so the merged result is bit-identical.
+func (e *RemoteExecutor) stepLocal(s *System, plan *batchPlan, p int, recs [][]raInterval, perf [][]float64) error {
+	I := s.cfg.EnvTemplate.NumSlices
+	T := s.cfg.EnvTemplate.T
+	zGrid, yGrid := s.coord.Z(), s.coord.Y()
+	for _, j := range e.opts.LocalRAs {
+		zCol := make([]float64, I)
+		yCol := make([]float64, I)
+		for i := 0; i < I; i++ {
+			zCol[i] = zGrid[i][j]
+			yCol[i] = yGrid[i][j]
+		}
+		if err := s.envs[j].SetCoordination(zCol, yCol); err != nil {
+			return err
+		}
+		recs[j] = make([]raInterval, T)
+	}
+	for t := 0; t < T; t++ {
+		// Gather and forward every group before any local env steps this
+		// interval, mirroring the batched engine's act/step ordering.
+		for _, g := range plan.groups {
+			g.forward(s)
+		}
+		for _, j := range e.opts.LocalRAs {
+			var act []float64
+			if g := plan.groupOf[j]; g != nil {
+				act = g.actRow(plan.rowOf[j])
+			} else {
+				var err error
+				if act, err = s.action(j); err != nil {
+					return err
+				}
+			}
+			res, err := s.envs[j].StepInterval(act)
+			if err != nil {
+				return fmt.Errorf("core: RA %d period %d: %w", j, p, err)
+			}
+			recs[j][t] = raInterval{
+				perf:      res.Perf,
+				queues:    res.QueueLens,
+				eff:       res.Effective,
+				violation: res.Violation,
+			}
+		}
+	}
+	for _, j := range e.opts.LocalRAs {
+		pp := s.envs[j].PeriodPerf()
+		for i := 0; i < I; i++ {
+			perf[i][j] = pp[i]
+		}
+	}
+	return nil
+}
+
+// collectPeriod broadcasts period p's coordination grids to the remote
+// RAs, steps the local subset in-process while the agents work, and
+// collects every remote report, retrying up to RetryPeriods times on
+// timeout. Each retry re-broadcasts only to the remote RAs still missing
+// and keeps the partial report set, so agents that already stepped the
+// period are never double-stepped (and locals are never re-stepped). On
+// success out[j]/got[j] hold the remote envelopes; the locals' results
+// are already in recs/perf.
+func (e *RemoteExecutor) collectPeriod(s *System, plan *batchPlan, p, J int, recs [][]raInterval, perf [][]float64) ([]rcnet.Envelope, error) {
 	out := make([]rcnet.Envelope, J)
 	got := make([]bool, J)
-	missing := make([]int, J)
-	for j := range missing {
-		missing[j] = j
+	for _, j := range e.opts.LocalRAs {
+		got[j] = true // the hub never collects a local RA's report
 	}
+	missing := make([]int, 0, J)
+	for j := 0; j < J; j++ {
+		if !got[j] {
+			missing = append(missing, j)
+		}
+	}
+	stepped := false
 	attempts := e.opts.RetryPeriods + 1
 	for a := 0; a < attempts; a++ {
 		bErr := e.hub.BroadcastTo(p, s.coord.Z(), s.coord.Y(), missing)
 		if bErr != nil && a == attempts-1 {
 			return nil, fmt.Errorf("core: remote period %d: %w", p, bErr)
+		}
+		if !stepped {
+			// Step the local subset after the broadcast is on the wire, so
+			// remote agents compute their period concurrently with ours.
+			if err := e.stepLocal(s, plan, p, recs, perf); err != nil {
+				return nil, err
+			}
+			stepped = true
 		}
 		_, cErr := e.hub.CollectReportsInto(p, e.opts.Timeout, out, got)
 		if cErr == nil {
@@ -124,21 +246,43 @@ func (e *RemoteExecutor) RunPeriods(s *System, n int) (*History, error) {
 		return nil, fmt.Errorf("core: hub coordinates %d slices x %d RAs, system is %d x %d",
 			e.hub.NumSlices(), e.hub.NumRAs(), I, J)
 	}
+	local := make([]bool, J)
+	if len(e.opts.LocalRAs) > 0 {
+		if !s.trained {
+			return nil, fmt.Errorf("core: remote engine with local RAs needs a trained/SetAgents system")
+		}
+		if !sort.IntsAreSorted(e.opts.LocalRAs) {
+			return nil, fmt.Errorf("core: LocalRAs must be ascending")
+		}
+		for _, j := range e.opts.LocalRAs {
+			if j < 0 || j >= J {
+				return nil, fmt.Errorf("core: local RA %d out of range [0,%d)", j, J)
+			}
+			if local[j] {
+				return nil, fmt.Errorf("core: duplicate local RA %d", j)
+			}
+			local[j] = true
+		}
+	}
 	h := s.newRunHistory()
+	plan := e.localPlan(s)
 
 	start := s.coord.Iterations()
 	for k := 0; k < n; k++ {
 		p := start + k
-		reports, err := e.collectPeriod(s, p, J)
-		if err != nil {
-			return h, err
-		}
 		recs := make([][]raInterval, J)
 		perf := make([][]float64, I)
 		for i := range perf {
 			perf[i] = make([]float64, J)
 		}
+		reports, err := e.collectPeriod(s, plan, p, J, recs, perf)
+		if err != nil {
+			return h, err
+		}
 		for j := 0; j < J; j++ {
+			if local[j] {
+				continue // stepped in-process; recs/perf already filled
+			}
 			rep := reports[j]
 			if len(rep.Perf) != I {
 				return h, fmt.Errorf("core: RA %d reported %d slices, want %d", j, len(rep.Perf), I)

@@ -1,7 +1,6 @@
 package rcnet
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -9,34 +8,43 @@ import (
 	"time"
 )
 
-func newReader(conn net.Conn) *bufio.Reader {
-	return bufio.NewReaderSize(conn, 64*1024)
-}
-
 // AgentClient is the orchestration-agent side of the RC-L interface. The
 // write mutex serializes Report frames against the heartbeat goroutine
-// (StartHeartbeat), so the two writers can never interleave mid-frame.
+// (StartHeartbeat), so the two writers can never interleave mid-frame; it
+// also guards the frame writer's reusable encode buffer.
 type AgentClient struct {
-	ra   int
-	conn net.Conn
-	br   *bufio.Reader
+	ra    int
+	conn  net.Conn
+	codec Codec
+	mr    *msgReader
 
 	wmu sync.Mutex // serializes all writes to conn
+	mw  *msgWriter
 
 	hbStop func() // set by StartHeartbeat; safe to call more than once
 
 	stats agentStats
+	wire  wireStats
 }
 
 // ErrShutdown is returned by RecvCoordination when the coordinator ends the
 // session.
 var ErrShutdown = errors.New("rcnet: coordinator shut down")
 
-// DialAgent connects to the hub and registers as the given RA. The timeout
-// bounds the whole handshake: both the TCP dial and the register-frame
-// write (a hub with a wedged accept queue can otherwise absorb the
-// connection but never drain the socket, blocking the write forever).
+// DialAgent connects to the hub and registers as the given RA using the
+// JSON wire codec — the compatibility default. The timeout bounds the
+// whole handshake: both the TCP dial and the register-frame write (a hub
+// with a wedged accept queue can otherwise absorb the connection but never
+// drain the socket, blocking the write forever).
 func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error) {
+	return DialAgentCodec(addr, ra, timeout, CodecJSON)
+}
+
+// DialAgentCodec is DialAgent with an explicit wire codec. The codec of
+// the register frame is the negotiation: the hub detects it and answers
+// the connection in kind, so no extra round trip is spent, and hubs predating
+// the binary codec keep working with JSON clients.
+func DialAgentCodec(addr string, ra int, timeout time.Duration, codec Codec) (*AgentClient, error) {
 	if ra < 0 {
 		return nil, fmt.Errorf("rcnet: negative RA id %d", ra)
 	}
@@ -44,19 +52,25 @@ func DialAgent(addr string, ra int, timeout time.Duration) (*AgentClient, error)
 	if err != nil {
 		return nil, fmt.Errorf("rcnet: dial %s: %w", addr, err)
 	}
+	c := &AgentClient{ra: ra, conn: conn, codec: codec}
+	c.mw = newMsgWriter(conn, codec, &c.wire)
+	c.mr = newMsgReader(conn, &c.wire)
 	_ = conn.SetWriteDeadline(deadline(conn, timeout))
-	if err := writeMsg(conn, Envelope{Type: MsgRegister, RA: ra}); err != nil {
+	if err := c.mw.write(Envelope{Type: MsgRegister, RA: ra}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
 	// Clear the handshake deadline: later writes (reports, heartbeats)
 	// manage their own.
 	_ = conn.SetWriteDeadline(time.Time{})
-	return &AgentClient{ra: ra, conn: conn, br: newReader(conn)}, nil
+	return c, nil
 }
 
 // RA returns this client's resource-autonomy id.
 func (c *AgentClient) RA() int { return c.ra }
+
+// Codec returns the wire codec the client registered with.
+func (c *AgentClient) Codec() Codec { return c.codec }
 
 // Recv blocks for the next frame from the hub, skipping frame types an
 // agent never receives. Callers dispatch on the envelope's Type:
@@ -66,7 +80,7 @@ func (c *AgentClient) Recv(timeout time.Duration) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("rcnet: set deadline: %w", err)
 	}
 	for {
-		m, err := readMsg(c.br)
+		m, err := c.mr.read()
 		if err != nil {
 			return Envelope{}, fmt.Errorf("rcnet: recv: %w", err)
 		}
@@ -114,7 +128,7 @@ func (c *AgentClient) ReportPerf(period int, perf []float64, queues []int) error
 func (c *AgentClient) Report(period int, perf []float64, queues []int, intervals []IntervalRecord) error {
 	c.wmu.Lock()
 	//edgeslice:lockio wmu only serializes this client's two writers (report vs heartbeat) on its own conn; blocking here blocks nobody else
-	err := writeMsg(c.conn, Envelope{
+	err := c.mw.write(Envelope{
 		Type: MsgPerfReport, RA: c.ra, Period: period, Perf: perf, Queues: queues,
 		Intervals: intervals,
 	})
@@ -151,7 +165,7 @@ func (c *AgentClient) StartHeartbeat(interval time.Duration) (stop func()) {
 			c.wmu.Lock()
 			//edgeslice:lockio wmu only serializes this client's two writers on its own conn, and the write is deadline-bounded
 			_ = c.conn.SetWriteDeadline(deadline(c.conn, interval))
-			err := writeMsg(c.conn, Envelope{Type: MsgHeartbeat, RA: c.ra})
+			err := c.mw.write(Envelope{Type: MsgHeartbeat, RA: c.ra})
 			//edgeslice:lockio clearing the deadline cannot block; it must happen before Report writes under the same lock
 			_ = c.conn.SetWriteDeadline(time.Time{})
 			c.wmu.Unlock()

@@ -13,11 +13,14 @@ import (
 // serializes every hub-side frame written to the conn (broadcast, resume,
 // shutdown notify), so frames from different hub goroutines can never
 // interleave mid-line; lastSeen is refreshed on every frame read from the
-// peer and drives the liveness reaper.
+// peer and drives the liveness reaper. The frame writer carries the codec
+// the peer registered with (JSON until the register frame says otherwise).
 type connState struct {
-	conn     net.Conn
-	wmu      sync.Mutex
-	lastSeen atomic.Int64 // monotonic-ish unix nanos of the last frame read
+	conn       net.Conn
+	wmu        sync.Mutex
+	mw         *msgWriter
+	lastSeen   atomic.Int64 // monotonic-ish unix nanos of the last frame read
+	registered atomic.Bool  // installed into a shard's conn table
 }
 
 // send writes one frame under the connection's write mutex with a write
@@ -28,18 +31,36 @@ func (st *connState) send(e Envelope, timeout time.Duration) error {
 	defer st.wmu.Unlock()
 	//edgeslice:lockio wmu only serializes this conn's writers and the write is deadline-bounded; a stalled peer delays its own frames, nobody else's
 	_ = st.conn.SetWriteDeadline(deadline(st.conn, timeout))
-	return writeMsg(st.conn, e)
+	return st.mw.write(e)
+}
+
+// setCodec switches the connection's reply codec once the register frame
+// revealed what the peer speaks; taken under the write mutex so it cannot
+// interleave with an in-flight frame.
+func (st *connState) setCodec(c Codec) {
+	st.wmu.Lock()
+	st.mw.codec = c
+	st.wmu.Unlock()
 }
 
 // Hub is the coordinator-side endpoint: it accepts agent registrations,
 // broadcasts coordinating information, and collects per-period performance
 // reports.
 //
+// Internally the hub is sharded (NewShardedHub): each shard owns a fixed
+// contiguous RA range with its own mutex, connection table, coordination
+// log, liveness reaper, and broadcast-writer pool, so period broadcast and
+// report collection run in parallel across shards. The root hub owns the
+// listener, demultiplexes registrations to shards, and merges per-shard
+// results in fixed RA order — History, monitor series, and residuals are
+// bit-identical for any shard count. NewHub builds the single-shard hub.
+//
 // Writes to agents are bounded: Broadcast and Shutdown apply a write
-// deadline (SetWriteTimeout, default 5s) and never hold the hub lock
-// across a network write, so one stalled agent cannot head-of-line block
-// the round for healthy RAs or deadlock dropConn/Shutdown. A connection
-// that misses its write deadline is dropped; the agent must re-register.
+// deadline (SetWriteTimeout, default 5s) and never hold a hub or shard
+// lock across a network write, so one stalled agent cannot head-of-line
+// block the round for healthy RAs or deadlock dropConn/Shutdown. A
+// connection that misses its write deadline is dropped; the agent must
+// re-register.
 //
 // The hub survives agent churn: a re-registering RA supersedes its stale
 // connection (the old conn is closed, the new one installed) and receives
@@ -55,26 +76,29 @@ type Hub struct {
 
 	writeTimeout time.Duration
 
-	mu       sync.Mutex
-	conns    map[int]*connState      // registered RA -> connection state
-	live     map[net.Conn]*connState // every accepted conn, incl. pre-registration
-	seenRAs  map[int]bool            // RAs that registered at least once (reconnect detection)
-	shutdown bool                    // no new conns are tracked once set
+	shards []*hubShard
 
-	// Fault-tolerance state, all guarded by mu: the coordination columns
-	// broadcast per period (the resume payload for re-registering agents),
-	// the number of periods the executor has fully finished, and the last
-	// period each RA delivered a report for. A re-registering RA j must
-	// replay max(completed, lastReported[j]+1) periods before going live.
-	zLog, yLog   [][][]float64 // [period][slice][ra]
-	completed    int
-	lastReported map[int]int
-
+	// mu guards the pre-registration state: every accepted conn (so
+	// Shutdown can close peers stalled mid-register), the shutdown flag, and
+	// the liveness timeout. Registered-RA state lives in the shards, each
+	// under its own lock. Lock order is always mu before a shard's mu.
+	mu          sync.Mutex
+	live        map[net.Conn]*connState
+	shutdown    bool
 	liveTimeout time.Duration // 0: liveness reaping disabled
 
-	stats hubStats
+	// bcastMu serializes broadcast enqueues against Shutdown closing the
+	// shard writer pools: producers hold it shared while enqueueing,
+	// Shutdown holds it exclusively while closing the queues, so a job is
+	// either fully enqueued before the close (and drained by the pool) or
+	// rejected with errHubClosed — never stranded.
+	bcastMu     sync.RWMutex
+	bcastClosed bool
 
-	reports    chan Envelope
+	stats  hubStats
+	wire   wireStats
+	poolWG sync.WaitGroup
+
 	registered chan int
 	acceptWG   sync.WaitGroup
 	readerWG   sync.WaitGroup
@@ -84,10 +108,24 @@ type Hub struct {
 }
 
 // NewHub listens on addr (e.g. "127.0.0.1:0") for numRAs agents managing
-// numSlices slices each.
+// numSlices slices each, with a single shard — the compatibility shape.
 func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
+	return NewShardedHub(addr, numSlices, numRAs, 1)
+}
+
+// NewShardedHub listens on addr for numRAs agents managing numSlices
+// slices each, splitting the RA space across shards contiguous ranges
+// (sizes differing by at most one). Shard counts above numRAs are clamped;
+// any shard count produces bit-identical runs.
+func NewShardedHub(addr string, numSlices, numRAs, shards int) (*Hub, error) {
 	if numSlices <= 0 || numRAs <= 0 {
 		return nil, fmt.Errorf("rcnet: invalid hub dims slices=%d ras=%d", numSlices, numRAs)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("rcnet: invalid shard count %d", shards)
+	}
+	if shards > numRAs {
+		shards = numRAs
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -98,13 +136,13 @@ func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 		numSlices:    numSlices,
 		numRAs:       numRAs,
 		writeTimeout: defaultWriteTimeout,
-		conns:        make(map[int]*connState, numRAs),
 		live:         make(map[net.Conn]*connState, numRAs),
-		seenRAs:      make(map[int]bool, numRAs),
-		lastReported: make(map[int]int, numRAs),
-		reports:      make(chan Envelope, numRAs),
 		registered:   make(chan int, numRAs),
 		closed:       make(chan struct{}),
+	}
+	h.shards = make([]*hubShard, shards)
+	for s := 0; s < shards; s++ {
+		h.shards[s] = newShard(h, s, h.shardLo(s), h.shardLo(s+1))
 	}
 	h.acceptWG.Add(1)
 	go h.acceptLoop()
@@ -115,6 +153,34 @@ func NewHub(addr string, numSlices, numRAs int) (*Hub, error) {
 // block on one agent's connection before the hub drops it.
 const defaultWriteTimeout = 5 * time.Second
 
+// Collection sentinels, turned into caller-facing errors by the root hub
+// after all shard collectors return.
+var (
+	errCollectTimeout = errors.New("rcnet: collect timeout")
+	errHubClosed      = errors.New("rcnet: hub closed")
+)
+
+// shardLo returns the first RA of shard s: the leading numRAs%shards
+// shards get one extra RA, keeping ranges contiguous and balanced.
+func (h *Hub) shardLo(s int) int {
+	n, k := h.numRAs, len(h.shards)
+	base, rem := n/k, n%k
+	if s <= rem {
+		return s * (base + 1)
+	}
+	return rem*(base+1) + (s-rem)*base
+}
+
+// shardFor returns the shard owning RA ra.
+func (h *Hub) shardFor(ra int) *hubShard {
+	n, k := h.numRAs, len(h.shards)
+	base, rem := n/k, n%k
+	if ra < rem*(base+1) {
+		return h.shards[ra/(base+1)]
+	}
+	return h.shards[rem+(ra-rem*(base+1))/base]
+}
+
 // Addr returns the listening address (useful with port 0).
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
@@ -123,6 +189,9 @@ func (h *Hub) NumSlices() int { return h.numSlices }
 
 // NumRAs returns the number of agents the hub coordinates.
 func (h *Hub) NumRAs() int { return h.numRAs }
+
+// NumShards returns the hub's shard count.
+func (h *Hub) NumShards() int { return len(h.shards) }
 
 // SetWriteTimeout overrides the per-connection write deadline used by
 // Broadcast and Shutdown (0 or negative disables it). Call before the
@@ -134,10 +203,11 @@ func (h *Hub) SetWriteTimeout(d time.Duration) { h.writeTimeout = d }
 // delivers no frame (reports or heartbeats) for longer than timeout is
 // closed, which drives the normal drop/re-register path immediately
 // instead of waiting for the next broadcast to hit its write deadline.
-// Only enable it when the agents send heartbeats (AgentClient
-// StartHeartbeat) at a comfortably shorter interval — an agent that is
-// silently computing a long period would otherwise be reaped mid-work.
-// Call before agents connect; idempotent per hub.
+// Each shard reaps its own registered conns; the root reaps conns stalled
+// before registration. Only enable it when the agents send heartbeats
+// (AgentClient StartHeartbeat) at a comfortably shorter interval — an
+// agent that is silently computing a long period would otherwise be
+// reaped mid-work. Call before agents connect; idempotent per hub.
 func (h *Hub) SetLiveness(timeout time.Duration) {
 	if timeout <= 0 {
 		return
@@ -148,7 +218,11 @@ func (h *Hub) SetLiveness(timeout time.Duration) {
 	h.mu.Unlock()
 	if start {
 		h.reaperWG.Add(1)
-		go h.reapLoop()
+		go h.reapLoop(timeout)
+		for _, sh := range h.shards {
+			h.reaperWG.Add(1)
+			go sh.reapLoop(timeout)
+		}
 	}
 }
 
@@ -159,27 +233,32 @@ func (h *Hub) SetLiveness(timeout time.Duration) {
 func (h *Hub) Liveness() (liveRAs, registeredRAs, expected int) {
 	now := time.Now().UnixNano()
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	registeredRAs = len(h.conns)
-	if h.liveTimeout <= 0 {
-		return registeredRAs, registeredRAs, h.numRAs
-	}
-	for _, st := range h.conns {
-		if now-st.lastSeen.Load() <= int64(h.liveTimeout) {
-			liveRAs++
+	liveTimeout := h.liveTimeout
+	h.mu.Unlock()
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		registeredRAs += len(sh.conns)
+		if liveTimeout > 0 {
+			for _, st := range sh.conns {
+				if now-st.lastSeen.Load() <= int64(liveTimeout) {
+					liveRAs++
+				}
+			}
 		}
+		sh.mu.Unlock()
+	}
+	if liveTimeout <= 0 {
+		liveRAs = registeredRAs
 	}
 	return liveRAs, registeredRAs, h.numRAs
 }
 
-// reapLoop periodically closes connections whose peers went silent. The
-// scan interval divides the liveness timeout so a dead conn is reaped at
-// most ~1.25 timeouts after its last frame.
-func (h *Hub) reapLoop() {
+// reapLoop is the root reaper: it covers connections stalled before
+// registration (shard reapers cover registered conns, each under its own
+// lock).
+func (h *Hub) reapLoop(timeout time.Duration) {
 	defer h.reaperWG.Done()
-	h.mu.Lock()
-	interval := h.liveTimeout / 4
-	h.mu.Unlock()
+	interval := timeout / 4
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
@@ -190,19 +269,19 @@ func (h *Hub) reapLoop() {
 		case <-h.closed:
 			return
 		case <-ticker.C:
-			h.reapOnce(time.Now().UnixNano())
+			h.reapOnce(time.Now().UnixNano(), timeout)
 		}
 	}
 }
 
-// reapOnce collects the silent connections under the lock and closes them
-// outside it; closing unblocks each conn's reader goroutine, which runs
-// the usual dropConn path.
-func (h *Hub) reapOnce(now int64) {
+// reapOnce collects the silent pre-registration connections under the lock
+// and closes them outside it; closing unblocks each conn's reader
+// goroutine, which abandons the handshake.
+func (h *Hub) reapOnce(now int64, timeout time.Duration) {
 	h.mu.Lock()
 	var victims []*connState
 	for _, st := range h.live {
-		if now-st.lastSeen.Load() > int64(h.liveTimeout) {
+		if !st.registered.Load() && now-st.lastSeen.Load() > int64(timeout) {
 			victims = append(victims, st)
 		}
 	}
@@ -225,41 +304,12 @@ func (h *Hub) acceptLoop() {
 	}
 }
 
-// resumeFrameLocked builds RA ra's catch-up frame: the first period it must
-// execute live and its coordination columns for every earlier period. A
-// re-registering RA whose report for the in-flight period was already
-// collected must replay through that period too (the executor will not
-// re-broadcast it), hence the lastReported term.
-func (h *Hub) resumeFrameLocked(ra int) Envelope {
-	catchUp := h.completed
-	if last, ok := h.lastReported[ra]; ok && last+1 > catchUp {
-		catchUp = last + 1
-	}
-	if catchUp > len(h.zLog) {
-		catchUp = len(h.zLog) // defensive: never promise columns we don't hold
-	}
-	e := Envelope{Type: MsgResume, RA: ra, Period: catchUp}
-	if catchUp > 0 {
-		e.ZHist = make([][]float64, catchUp)
-		e.YHist = make([][]float64, catchUp)
-		for p := 0; p < catchUp; p++ {
-			zCol := make([]float64, h.numSlices)
-			yCol := make([]float64, h.numSlices)
-			for i := 0; i < h.numSlices; i++ {
-				zCol[i] = h.zLog[p][i][ra]
-				yCol[i] = h.yLog[p][i][ra]
-			}
-			e.ZHist[p] = zCol
-			e.YHist[p] = yCol
-		}
-	}
-	return e
-}
-
-// handleConn performs registration then pumps reports into the channel.
+// handleConn performs registration — detecting the peer's codec from its
+// register frame and routing the conn to the shard owning its RA — then
+// pumps reports into the shard's collect channel.
 func (h *Hub) handleConn(conn net.Conn) {
 	defer h.readerWG.Done()
-	st := &connState{conn: conn}
+	st := &connState{conn: conn, mw: newMsgWriter(conn, CodecJSON, &h.wire)}
 	st.lastSeen.Store(time.Now().UnixNano())
 	// Track the connection before any blocking read so Shutdown can close
 	// it and unblock this goroutine even if the peer stalls mid-register.
@@ -276,13 +326,19 @@ func (h *Hub) handleConn(conn net.Conn) {
 		delete(h.live, conn)
 		h.mu.Unlock()
 	}()
-	br := newReader(conn)
-	msg, err := readMsg(br)
+	mr := newMsgReader(conn, &h.wire)
+	msg, err := mr.read()
 	if err != nil || msg.Type != MsgRegister || msg.RA < 0 || msg.RA >= h.numRAs {
 		_ = conn.Close()
 		return
 	}
 	st.lastSeen.Store(time.Now().UnixNano())
+	// The register frame's codec decides how the hub answers this
+	// connection; JSON peers that never heard of the binary codec keep
+	// working unchanged.
+	st.setCodec(mr.lastCodec)
+	h.stats.regsByCodec[mr.lastCodec].Add(1)
+	sh := h.shardFor(msg.RA)
 
 	// Registration is a two-step handshake so the resume frame is on the
 	// wire before the conn becomes broadcastable: (1) snapshot the catch-up
@@ -293,9 +349,9 @@ func (h *Hub) handleConn(conn net.Conn) {
 	// the ordering, the executor could broadcast the in-flight period to
 	// the new conn before its resume frame, and the agent would step it
 	// against an un-replayed environment.
-	h.mu.Lock()
-	resume := h.resumeFrameLocked(msg.RA)
-	h.mu.Unlock()
+	sh.mu.Lock()
+	resume := sh.resumeFrameLocked(msg.RA)
+	sh.mu.Unlock()
 	if resume.Period > 0 {
 		if err := st.send(resume, h.writeTimeout); err != nil {
 			_ = conn.Close()
@@ -309,7 +365,9 @@ func (h *Hub) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if again := h.resumeFrameLocked(msg.RA); again.Period != resume.Period {
+	sh.mu.Lock()
+	if again := sh.resumeFrameLocked(msg.RA); again.Period != resume.Period {
+		sh.mu.Unlock()
 		h.mu.Unlock()
 		_ = conn.Close() // raced with a period completing; agent must redial
 		return
@@ -317,10 +375,12 @@ func (h *Hub) handleConn(conn net.Conn) {
 	// Re-registration supersedes: the stale conn (a half-dead socket the
 	// hub has not noticed yet) is replaced immediately instead of locking
 	// the returning agent out until the next broadcast write timeout.
-	old := h.conns[msg.RA]
-	h.conns[msg.RA] = st
-	reconnect := h.seenRAs[msg.RA]
-	h.seenRAs[msg.RA] = true
+	old := sh.conns[msg.RA]
+	sh.conns[msg.RA] = st
+	st.registered.Store(true)
+	reconnect := sh.seenRAs[msg.RA]
+	sh.seenRAs[msg.RA] = true
+	sh.mu.Unlock()
 	h.mu.Unlock()
 	if old != nil && old.conn != conn {
 		h.stats.superseded.Add(1)
@@ -335,9 +395,9 @@ func (h *Hub) handleConn(conn net.Conn) {
 	// channel fills with notifications nobody drains, and a blocking send
 	// would park this goroutine before its read loop starts, leaving the
 	// reconnected agent permanently unserved (and the goroutine leaked).
-	// The channel is only a wakeup signal — WaitRegistered recounts
-	// h.conns itself — so on a full channel the oldest entry is dropped,
-	// and losing a notification merely delays the waiter's next recount.
+	// The channel is only a wakeup signal — WaitRegistered recounts the
+	// shard tables itself — so on a full channel the oldest entry is
+	// dropped, and losing a notification merely delays the next recount.
 	select {
 	case h.registered <- msg.RA:
 	default:
@@ -351,22 +411,31 @@ func (h *Hub) handleConn(conn net.Conn) {
 		}
 	}
 	for {
-		m, err := readMsg(br)
+		m, err := mr.read()
 		if err != nil {
-			h.dropConn(msg.RA, st)
+			sh.dropConn(msg.RA, st)
 			return
 		}
 		st.lastSeen.Store(time.Now().UnixNano())
 		switch m.Type {
 		case MsgPerfReport:
 			h.stats.reportsReceived.Add(1)
-			h.mu.Lock()
-			if last, ok := h.lastReported[m.RA]; !ok || m.Period > last {
-				h.lastReported[m.RA] = m.Period
+			// Reports are routed by the shard that owns the conn; a report
+			// naming an RA outside this shard's range (a buggy or malicious
+			// peer) is dropped here, before it can race another shard's
+			// collect buffers.
+			if m.RA < sh.lo || m.RA >= sh.hi {
+				h.stats.wrongShard.Add(1)
+				h.stats.reportsDropped.Add(1)
+				continue
 			}
-			h.mu.Unlock()
+			sh.mu.Lock()
+			if last, ok := sh.lastReported[m.RA]; !ok || m.Period > last {
+				sh.lastReported[m.RA] = m.Period
+			}
+			sh.mu.Unlock()
 			select {
-			case h.reports <- m:
+			case sh.reports <- m:
 			case <-h.closed:
 				return
 			}
@@ -378,84 +447,86 @@ func (h *Hub) handleConn(conn net.Conn) {
 	}
 }
 
-func (h *Hub) dropConn(ra int, st *connState) {
-	h.mu.Lock()
-	dropped := h.conns[ra] == st
-	if dropped {
-		delete(h.conns, ra)
-	}
-	h.mu.Unlock()
-	if dropped {
-		h.stats.connsDropped.Add(1)
-	}
-	_ = st.conn.Close()
+// WaitRegistered blocks until every RA is simultaneously registered or the
+// timeout expires. The shard registration tables are the ground truth; the
+// channel (plus a coarse ticker, in case a wakeup was dropped) only paces
+// the recounts.
+func (h *Hub) WaitRegistered(timeout time.Duration) error {
+	return h.waitRegistered(timeout, nil)
 }
 
-// WaitRegistered blocks until every RA is simultaneously registered or the
-// timeout expires. The registration map is the ground truth; the channel
-// (plus a coarse ticker, in case a wakeup was dropped) only paces the
-// recounts.
-func (h *Hub) WaitRegistered(timeout time.Duration) error {
+// WaitRegisteredRAs is WaitRegistered restricted to a subset of RAs — the
+// remote executor uses it when some RAs run in-process and only the rest
+// dial in.
+func (h *Hub) WaitRegisteredRAs(timeout time.Duration, ras []int) error {
+	for _, ra := range ras {
+		if ra < 0 || ra >= h.numRAs {
+			return fmt.Errorf("rcnet: wait for invalid RA %d", ra)
+		}
+	}
+	return h.waitRegistered(timeout, ras)
+}
+
+func (h *Hub) waitRegistered(timeout time.Duration, ras []int) error {
+	want := h.numRAs
+	if ras != nil {
+		want = len(ras)
+	}
+	count := func() int {
+		n := 0
+		if ras == nil {
+			for _, sh := range h.shards {
+				sh.mu.Lock()
+				n += len(sh.conns)
+				sh.mu.Unlock()
+			}
+			return n
+		}
+		for _, ra := range ras {
+			sh := h.shardFor(ra)
+			sh.mu.Lock()
+			if _, ok := sh.conns[ra]; ok {
+				n++
+			}
+			sh.mu.Unlock()
+		}
+		return n
+	}
 	deadlineC := time.After(timeout)
 	ticker := time.NewTicker(20 * time.Millisecond)
 	defer ticker.Stop()
 	for {
-		h.mu.Lock()
-		n := len(h.conns)
-		h.mu.Unlock()
-		if n >= h.numRAs {
+		if count() >= want {
 			return nil
 		}
 		select {
 		case <-h.registered:
 		case <-ticker.C:
 		case <-deadlineC:
-			// Recount under the lock: registrations that landed during the
-			// final wait must not be misreported as missing.
-			h.mu.Lock()
-			n = len(h.conns)
-			h.mu.Unlock()
-			if n >= h.numRAs {
+			// Recount: registrations that landed during the final wait must
+			// not be misreported as missing.
+			if n := count(); n >= want {
 				return nil
+			} else {
+				return fmt.Errorf("rcnet: %d/%d agents registered before timeout", n, want)
 			}
-			return fmt.Errorf("rcnet: %d/%d agents registered before timeout", n, h.numRAs)
 		case <-h.closed:
-			return errors.New("rcnet: hub closed")
+			return errHubClosed
 		}
 	}
-}
-
-// recordCoordination remembers the period's full (Z, Y) grids so later
-// re-registrations can be handed the replay history. Retried broadcasts of
-// an already-recorded period are no-ops; the grids of a period never
-// change between attempts (the ADMM update only runs after collection).
-func (h *Hub) recordCoordination(period int, z, y [][]float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if period != len(h.zLog) {
-		return // retry of a recorded period, or a legacy driver reusing numbers
-	}
-	h.zLog = append(h.zLog, copyGrid(z))
-	h.yLog = append(h.yLog, copyGrid(y))
-}
-
-func copyGrid(g [][]float64) [][]float64 {
-	out := make([][]float64, len(g))
-	for i, row := range g {
-		out[i] = append([]float64(nil), row...)
-	}
-	return out
 }
 
 // FinishPeriod marks period p fully completed (collected, merged, and
 // ADMM-updated): re-registering agents must replay through it. The remote
 // execution engine calls it after every period.
 func (h *Hub) FinishPeriod(p int) {
-	h.mu.Lock()
-	if p+1 > h.completed {
-		h.completed = p + 1
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		if p+1 > sh.completed {
+			sh.completed = p + 1
+		}
+		sh.mu.Unlock()
 	}
-	h.mu.Unlock()
 }
 
 // PrimeResume seeds the hub with the coordination history of a previous
@@ -477,20 +548,24 @@ func (h *Hub) PrimeResume(periods int, zs, ys [][][]float64) error {
 			}
 		}
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.seenRAs) > 0 {
-		return errors.New("rcnet: prime resume after an agent registered; prime immediately after NewHub")
-	}
-	if h.completed != 0 || len(h.zLog) != 0 {
-		return errors.New("rcnet: hub already holds coordination history")
-	}
-	h.completed = periods
-	h.zLog = make([][][]float64, periods)
-	h.yLog = make([][][]float64, periods)
-	for p := 0; p < periods; p++ {
-		h.zLog[p] = copyGrid(zs[p])
-		h.yLog[p] = copyGrid(ys[p])
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		if len(sh.seenRAs) > 0 {
+			sh.mu.Unlock()
+			return errors.New("rcnet: prime resume after an agent registered; prime immediately after NewHub")
+		}
+		if sh.completed != 0 || len(sh.zLog) != 0 {
+			sh.mu.Unlock()
+			return errors.New("rcnet: hub already holds coordination history")
+		}
+		sh.completed = periods
+		sh.zLog = make([][][]float64, periods)
+		sh.yLog = make([][][]float64, periods)
+		for p := 0; p < periods; p++ {
+			sh.zLog[p] = copyCols(zs[p], sh.lo, sh.hi)
+			sh.yLog[p] = copyCols(ys[p], sh.lo, sh.hi)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -498,25 +573,27 @@ func (h *Hub) PrimeResume(periods int, zs, ys [][][]float64) error {
 // Broadcast sends each RA its coordination column for the period. z and y
 // are [slice][ra] grids.
 //
-// Connections are snapshotted under the lock and written outside it with a
-// write deadline, so a stalled agent delays the round by at most the write
-// timeout, never blocks healthy RAs' writes, and never wedges callers that
-// need the hub lock (dropConn, Shutdown). A connection that fails or times
-// out is dropped and reported; the remaining RAs still receive their
-// coordination. Broadcast is intended to be called from a single
-// coordinator loop, not concurrently.
+// Connections are snapshotted under their shard's lock and written by the
+// shard writer pools outside it with a write deadline, so a stalled agent
+// delays the round by at most the write timeout, never blocks healthy
+// RAs' writes, and never wedges callers that need a hub lock (dropConn,
+// Shutdown). A connection that fails or times out is dropped and reported;
+// the remaining RAs still receive their coordination. Broadcast is
+// intended to be called from a single coordinator loop, not concurrently.
 func (h *Hub) Broadcast(period int, z, y [][]float64) error {
 	// Fail fast before writing anything when an RA is missing: the legacy
 	// driver treats a partial round as fatal, and healthy agents must not
 	// receive a round the caller will abandon.
-	h.mu.Lock()
-	for ra := 0; ra < h.numRAs; ra++ {
-		if _, ok := h.conns[ra]; !ok {
-			h.mu.Unlock()
-			return fmt.Errorf("rcnet: RA %d not connected", ra)
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		for ra := sh.lo; ra < sh.hi; ra++ {
+			if _, ok := sh.conns[ra]; !ok {
+				sh.mu.Unlock()
+				return fmt.Errorf("rcnet: RA %d not connected", ra)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	h.mu.Unlock()
 	ras := make([]int, h.numRAs)
 	for ra := range ras {
 		ras[ra] = ra
@@ -527,55 +604,61 @@ func (h *Hub) Broadcast(period int, z, y [][]float64) error {
 // BroadcastTo sends the period's coordination columns to a subset of RAs —
 // the retry path re-broadcasts an in-flight period only to the RAs whose
 // reports are still missing, so agents that already stepped it are never
-// asked to step it twice. An RA that is not currently registered, or whose
-// write fails, contributes to the returned error; the others still receive
-// their columns.
+// asked to step it twice. The sends are fanned out to the shard writer
+// pools and run in parallel across shards. An RA that is not currently
+// registered, or whose write fails, contributes to the returned error
+// (first in ras order, for determinism); the others still receive their
+// columns.
 func (h *Hub) BroadcastTo(period int, z, y [][]float64, ras []int) error {
 	if len(z) != h.numSlices || len(y) != h.numSlices {
 		return fmt.Errorf("rcnet: coordination grids have %d/%d slices, want %d", len(z), len(y), h.numSlices)
 	}
-	h.recordCoordination(period, z, y)
-	states := make([]*connState, len(ras))
-	var firstErr error
-	h.mu.Lock()
-	for k, ra := range ras {
+	for _, ra := range ras {
 		if ra < 0 || ra >= h.numRAs {
-			h.mu.Unlock()
 			return fmt.Errorf("rcnet: broadcast to invalid RA %d", ra)
 		}
-		st, ok := h.conns[ra]
+	}
+	for _, sh := range h.shards {
+		sh.recordCoordination(period, z, y)
+	}
+	states := make([]*connState, len(ras))
+	errs := make([]error, len(ras))
+	for k, ra := range ras {
+		sh := h.shardFor(ra)
+		sh.mu.Lock()
+		st, ok := sh.conns[ra]
+		sh.mu.Unlock()
 		if !ok {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rcnet: RA %d not connected", ra)
-			}
+			errs[k] = fmt.Errorf("rcnet: RA %d not connected", ra)
 			continue
 		}
 		states[k] = st
 	}
-	h.mu.Unlock()
 
+	var wg sync.WaitGroup
+	h.bcastMu.RLock()
 	for k, st := range states {
 		if st == nil {
 			continue
 		}
-		ra := ras[k]
-		zCol := make([]float64, h.numSlices)
-		yCol := make([]float64, h.numSlices)
-		for i := 0; i < h.numSlices; i++ {
-			zCol[i] = z[i][ra]
-			yCol[i] = y[i][ra]
+		if h.bcastClosed {
+			errs[k] = errHubClosed
+			continue
 		}
-		err := st.send(Envelope{Type: MsgCoordination, Period: period, Z: zCol, Y: yCol}, h.writeTimeout)
-		if err != nil {
-			// Drop the stalled/broken connection so the next round fails
-			// fast ("not connected") instead of stalling again.
-			h.dropConn(ra, st)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rcnet: broadcast to RA %d: %w", ra, err)
-			}
+		wg.Add(1)
+		//edgeslice:lockio the send cannot block: each shard's queue has capacity for one job per owned RA and a broadcast enqueues at most one job per RA, while bcastMu (held shared) pins the queue open
+		h.shardFor(ras[k]).bcast <- bcastJob{
+			st: st, ra: ras[k], period: period, z: z, y: y, err: &errs[k], wg: &wg,
 		}
 	}
-	return firstErr
+	h.bcastMu.RUnlock()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Collect waits for a perf report from every RA for the given period and
@@ -614,39 +697,52 @@ func (h *Hub) CollectReports(period int, timeout time.Duration) ([]Envelope, err
 // CollectReportsInto is the resumable form of CollectReports: out and got
 // persist partial progress across collection attempts, so a retried period
 // keeps the reports that already arrived and waits only for the missing
-// RAs. It returns how many RAs have reported in total (across this and
-// previous attempts); a nil error means all of them. Reports for other
-// periods, duplicates, and reports from out-of-range RAs are discarded and
-// counted in the stats.
+// RAs. Each shard drains its own report channel into its disjoint slice of
+// the buffers, so collection runs in parallel across shards. It returns
+// how many RAs have reported in total (across this and previous attempts);
+// a nil error means all of them. Reports for other periods, duplicates,
+// and reports from out-of-range RAs are discarded and counted in the
+// stats.
 func (h *Hub) CollectReportsInto(period int, timeout time.Duration, out []Envelope, got []bool) (int, error) {
 	if len(out) != h.numRAs || len(got) != h.numRAs {
 		return 0, fmt.Errorf("rcnet: collect buffers sized %d/%d, want %d", len(out), len(got), h.numRAs)
 	}
+	// One shared timeout signal: time.After delivers a single value, which
+	// would wake only one of the shard collectors, so the timer closes a
+	// channel every collector can observe.
+	timeoutC := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() { close(timeoutC) })
+	defer timer.Stop()
+
+	ns := make([]int, len(h.shards))
+	errs := make([]error, len(h.shards))
+	var wg sync.WaitGroup
+	for s, sh := range h.shards {
+		wg.Add(1)
+		go func(s int, sh *hubShard) {
+			defer wg.Done()
+			ns[s], errs[s] = sh.collectInto(period, timeoutC, out, got)
+		}(s, sh)
+	}
+	wg.Wait()
 	n := 0
-	for _, ok := range got {
-		if ok {
-			n++
+	for _, c := range ns {
+		n += c
+	}
+	timedOut := false
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, errCollectTimeout):
+			timedOut = true
+		case errors.Is(err, errHubClosed):
+			return n, errHubClosed
+		default:
+			return n, err // malformed report: first shard in index order
 		}
 	}
-	deadlineC := time.After(timeout)
-	for n < h.numRAs {
-		select {
-		case m := <-h.reports:
-			if m.Period != period || m.RA < 0 || m.RA >= h.numRAs || got[m.RA] {
-				h.stats.reportsDropped.Add(1)
-				continue
-			}
-			if len(m.Perf) != h.numSlices {
-				return n, fmt.Errorf("rcnet: RA %d reported %d slices, want %d", m.RA, len(m.Perf), h.numSlices)
-			}
-			out[m.RA] = m
-			got[m.RA] = true
-			n++
-		case <-deadlineC:
-			return n, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", n, h.numRAs, period)
-		case <-h.closed:
-			return n, errors.New("rcnet: hub closed")
-		}
+	if timedOut {
+		return n, fmt.Errorf("rcnet: %d/%d reports for period %d before timeout", n, h.numRAs, period)
 	}
 	return n, nil
 }
@@ -656,6 +752,16 @@ func (h *Hub) CollectReportsInto(period int, timeout time.Duration, out []Envelo
 func (h *Hub) Shutdown() error {
 	var err error
 	h.closeOnce.Do(func() {
+		// Stop the broadcast pools first: after bcastClosed is set no new
+		// job can be enqueued, and closing the queues lets each worker
+		// drain what was enqueued before exiting, so no BroadcastTo caller
+		// is left waiting on a stranded job.
+		h.bcastMu.Lock()
+		h.bcastClosed = true
+		for _, sh := range h.shards {
+			close(sh.bcast)
+		}
+		h.bcastMu.Unlock()
 		// Snapshot every live connection — including ones stalled before
 		// or mid-registration — so closing them unblocks every reader
 		// goroutine; otherwise readerWG.Wait below could hang forever on a
@@ -668,9 +774,13 @@ func (h *Hub) Shutdown() error {
 		for _, st := range h.live {
 			states = append(states, st)
 		}
-		h.conns = make(map[int]*connState)
 		h.mu.Unlock()
-		// Notify outside the lock with a write deadline: a stalled agent
+		for _, sh := range h.shards {
+			sh.mu.Lock()
+			sh.conns = make(map[int]*connState)
+			sh.mu.Unlock()
+		}
+		// Notify outside the locks with a write deadline: a stalled agent
 		// must not be able to wedge shutdown.
 		for _, st := range states {
 			_ = st.send(Envelope{Type: MsgShutdown}, h.writeTimeout)
@@ -681,6 +791,7 @@ func (h *Hub) Shutdown() error {
 		h.acceptWG.Wait()
 		h.readerWG.Wait()
 		h.reaperWG.Wait()
+		h.poolWG.Wait()
 	})
 	return err
 }

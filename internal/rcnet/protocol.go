@@ -1,9 +1,8 @@
 // Package rcnet implements the EdgeSlice resource-coordination (RC)
 // interface of Sec. V-D as a real network protocol: the central performance
 // coordinator communicates with decentralized orchestration agents over TCP
-// using newline-delimited JSON messages (RC-L carries coordinating
-// information and performance reports; the same channel carries the
-// monitoring summaries of RC-M).
+// (RC-L carries coordinating information and performance reports; the same
+// channel carries the monitoring summaries of RC-M).
 //
 // The protocol is period-synchronous, mirroring Algorithm 1:
 //
@@ -13,6 +12,16 @@
 //	agent → hub:  perf_report{ra, period, perf}
 //	agent → hub:  heartbeat{ra}                  (liveness, optional)
 //	hub → agent:  shutdown{}
+//
+// Two wire codecs carry the same envelopes. The historical codec is
+// newline-delimited JSON; the binary codec frames the same fields as a
+// length-prefixed packet (see binary.go) and cuts the coordinator's
+// per-period encode/decode cost at scale. The codec is negotiated at
+// register time with zero extra round trips: every frame self-describes
+// (JSON frames start with '{', binary frames with the magic byte), the hub
+// detects the codec of the register frame, and answers each connection in
+// the codec it registered with — so mixed JSON/binary agent fleets work
+// against one hub, and pre-binary peers keep working unchanged.
 //
 // Hub-side writes carry a write deadline (Hub.SetWriteTimeout, default 5s)
 // and happen outside the hub lock: an agent that stops reading delays a
@@ -28,14 +37,23 @@
 // that go silent instead of waiting for the next broadcast write timeout.
 // Both frame kinds are ignored by older peers, so mixed-version
 // deployments keep working.
+//
+// The plane scales horizontally: the hub is internally sharded
+// (NewShardedHub), each shard owning a fixed contiguous RA range with its
+// own lock, connection table, liveness reaper, and broadcast-writer pool,
+// so period broadcast and report collection proceed in parallel across
+// shards while the root hub merges results in fixed RA order — the merged
+// run is bit-identical for any shard count.
 package rcnet
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,33 +112,144 @@ type IntervalRecord struct {
 	Violation float64     `json:"viol,omitempty"`
 }
 
-// maxLineBytes bounds a single protocol frame to keep a malicious or broken
-// peer from exhausting memory. Perf reports carry per-interval records
-// (T × slices × resources floats), so the bound is sized for long periods
-// on wide slice mixes with room to spare.
+// Codec selects the wire encoding of a connection.
+type Codec uint8
+
+// Wire codecs. JSON is the historical newline-delimited encoding and the
+// compatibility default; Binary is the length-prefixed packed encoding.
+const (
+	CodecJSON Codec = iota
+	CodecBinary
+)
+
+// String returns the CLI spelling of the codec.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ParseCodec resolves a CLI spelling ("json", "binary", or "" for the
+// default JSON).
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	default:
+		return CodecJSON, fmt.Errorf("rcnet: unknown codec %q (want json or binary)", s)
+	}
+}
+
+// maxLineBytes bounds a single protocol frame (either codec) to keep a
+// malicious or broken peer from exhausting memory. Perf reports carry
+// per-interval records (T × slices × resources floats), so the bound is
+// sized for long periods on wide slice mixes with room to spare.
 const maxLineBytes = 4 << 20
 
-// writeMsg sends one envelope as a JSON line.
-func writeMsg(w io.Writer, e Envelope) error {
-	data, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("rcnet: marshal: %w", err)
+// wireStats counts the traffic of one endpoint (a hub or an agent client),
+// updated lock-free from reader/writer paths.
+type wireStats struct {
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	framesIn  [numMsgKinds]atomic.Uint64
+	framesOut [numMsgKinds]atomic.Uint64
+}
+
+// snapshotFrames flattens a per-kind counter array into a name→count map,
+// omitting zero entries so /healthz payloads stay small.
+func snapshotFrames(counters *[numMsgKinds]atomic.Uint64) map[string]uint64 {
+	out := make(map[string]uint64, numMsgKinds)
+	for k := 0; k < numMsgKinds; k++ {
+		if n := counters[k].Load(); n > 0 {
+			out[string(msgKindNames[k])] = n
+		}
 	}
-	data = append(data, '\n')
-	if _, err := w.Write(data); err != nil {
+	return out
+}
+
+// msgWriter encodes envelopes into a reusable buffer and writes each frame
+// with a single Write call. It is not safe for concurrent use: callers
+// serialize it behind the connection's write mutex.
+type msgWriter struct {
+	w     io.Writer
+	codec Codec
+	buf   bytes.Buffer // reused frame build-up (JSON via json.Encoder, binary via appendBinary)
+	stats *wireStats   // optional
+}
+
+func newMsgWriter(w io.Writer, codec Codec, stats *wireStats) *msgWriter {
+	return &msgWriter{w: w, codec: codec, stats: stats}
+}
+
+// write encodes e in the writer's codec and sends it as one frame.
+func (mw *msgWriter) write(e Envelope) error {
+	mw.buf.Reset()
+	if mw.codec == CodecBinary {
+		if err := appendBinary(&mw.buf, e); err != nil {
+			return err
+		}
+	} else {
+		// Encoder.Encode appends the terminating '\n' itself, completing
+		// the line frame without the extra copy json.Marshal+append costs.
+		if err := json.NewEncoder(&mw.buf).Encode(e); err != nil {
+			return fmt.Errorf("rcnet: marshal: %w", err)
+		}
+	}
+	n, err := mw.w.Write(mw.buf.Bytes())
+	if mw.stats != nil {
+		mw.stats.bytesOut.Add(uint64(n))
+		if err == nil {
+			mw.stats.framesOut[msgKindOf(e.Type)].Add(1)
+		}
+	}
+	if err != nil {
 		return fmt.Errorf("rcnet: write: %w", err)
 	}
 	return nil
 }
 
-// readMsg reads one JSON line. The frame bound is enforced while reading —
+// msgReader decodes frames of either codec from a buffered connection,
+// reusing one scratch buffer across frames. Each frame self-describes:
+// '{' opens a JSON line, binMagic opens a binary packet — so a reader
+// needs no negotiated state and a hub can serve mixed fleets. lastCodec
+// reports the codec of the most recent frame (the register frame's codec
+// decides how the hub answers the connection).
+type msgReader struct {
+	br        *bufio.Reader
+	buf       []byte
+	lastCodec Codec
+	stats     *wireStats // optional
+}
+
+func newMsgReader(conn net.Conn, stats *wireStats) *msgReader {
+	return &msgReader{br: bufio.NewReaderSize(conn, 64*1024), stats: stats}
+}
+
+// read decodes the next frame, JSON or binary.
+func (mr *msgReader) read() (Envelope, error) {
+	first, err := mr.br.Peek(1)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if first[0] == binMagic {
+		mr.lastCodec = CodecBinary
+		return mr.readBinary()
+	}
+	mr.lastCodec = CodecJSON
+	return mr.readJSON()
+}
+
+// readJSON reads one JSON line. The frame bound is enforced while reading —
 // accumulation stops the moment maxLineBytes is exceeded — so a peer that
 // streams an endless newline-free frame costs at most maxLineBytes of
 // buffer, not unbounded memory.
-func readMsg(br *bufio.Reader) (Envelope, error) {
-	var line []byte
+func (mr *msgReader) readJSON() (Envelope, error) {
+	line := mr.buf[:0]
 	for {
-		chunk, err := br.ReadSlice('\n')
+		chunk, err := mr.br.ReadSlice('\n')
 		if len(line)+len(chunk) > maxLineBytes {
 			return Envelope{}, fmt.Errorf("rcnet: frame too large (>%d bytes)", maxLineBytes)
 		}
@@ -132,11 +261,33 @@ func readMsg(br *bufio.Reader) (Envelope, error) {
 			return Envelope{}, err
 		}
 	}
+	mr.buf = line[:0] // keep the grown scratch for the next frame
 	var e Envelope
 	if err := json.Unmarshal(line, &e); err != nil {
 		return Envelope{}, fmt.Errorf("rcnet: malformed frame: %w", err)
 	}
+	mr.count(len(line), e.Type)
 	return e, nil
+}
+
+func (mr *msgReader) count(n int, t MsgType) {
+	if mr.stats != nil {
+		mr.stats.bytesIn.Add(uint64(n))
+		mr.stats.framesIn[msgKindOf(t)].Add(1)
+	}
+}
+
+// writeMsg sends one envelope as a JSON line — the package's historical
+// single-shot helper, kept for tests and legacy callers; hot paths hold a
+// msgWriter with a reusable buffer instead.
+func writeMsg(w io.Writer, e Envelope) error {
+	return newMsgWriter(w, CodecJSON, nil).write(e)
+}
+
+// readMsg reads one frame (either codec) — single-shot helper mirroring
+// writeMsg.
+func readMsg(br *bufio.Reader) (Envelope, error) {
+	return (&msgReader{br: br}).read()
 }
 
 // deadline applies a read/write deadline when timeout > 0.
